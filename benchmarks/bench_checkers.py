@@ -1,0 +1,60 @@
+"""E12 — checker scalability (ours, not the paper's).
+
+The decision procedures are exact; this benchmark tracks how their cost
+grows with history size so litmus-style users know the practical envelope
+(Prop. 1-style structured histories stay cheap; adversarial concurrency
+is exponential, as expected of an NP-hard problem).
+"""
+
+import random
+
+import pytest
+
+from repro.criteria import check
+from repro.litmus.generators import random_window_history
+
+SIZES = [(2, 2), (2, 3), (2, 4), (3, 3)]
+
+
+def _population(processes, ops, count=6, seed=99):
+    rng = random.Random(seed + processes * 10 + ops)
+    return [
+        random_window_history(rng, processes=processes, ops_per_process=ops)
+        for _ in range(count)
+    ]
+
+
+@pytest.mark.parametrize("criterion", ["SC", "PC", "WCC", "CC", "CCV"])
+@pytest.mark.parametrize("shape", SIZES, ids=[f"{p}x{o}" for p, o in SIZES])
+def test_checker_scaling(benchmark, criterion, shape):
+    processes, ops = shape
+    population = _population(processes, ops)
+
+    def run():
+        return [
+            check(h, adt, criterion, max_nodes=500_000).ok
+            if criterion in ("WCC", "CC", "CCV")
+            else check(h, adt, criterion).ok
+            for h, adt in population
+        ]
+
+    benchmark(run)
+
+
+def test_certificate_verification_cheap(benchmark):
+    """Verifying a certificate must be far cheaper than searching for it."""
+    from repro.criteria import verify_certificate
+
+    rng = random.Random(5)
+    cases = []
+    while len(cases) < 5:
+        h, adt = random_window_history(rng, processes=2, ops_per_process=3)
+        result = check(h, adt, "CC")
+        if result.ok:
+            cases.append((h, adt, result.certificate))
+
+    def verify_all():
+        for h, adt, cert in cases:
+            verify_certificate(h, adt, cert)
+
+    benchmark(verify_all)

@@ -1,0 +1,24 @@
+"""E7 — the consensus number of W_k is k (Sec. 2.1).
+
+Regenerates the agreement matrix: n proposers over a sequentially
+consistent window stream of size k agree iff n <= k.
+"""
+
+from repro.analysis import consensus_matrix, format_matrix
+
+from _util import emit
+
+
+def test_consensus_matrix(benchmark):
+    rates = benchmark.pedantic(
+        lambda: consensus_matrix(max_n=5, max_k=4, runs=15, seed=3),
+        rounds=1,
+        iterations=1,
+    )
+    emit("consensus_number_matrix", format_matrix(rates))
+    for (n, k), rate in rates.items():
+        if n <= k:
+            assert rate == 1.0, f"n={n} <= k={k} must agree"
+    for k in range(1, 5):
+        if (k + 1, k) in rates:
+            assert rates[(k + 1, k)] < 1.0, f"boundary at k={k} not observed"

@@ -1,0 +1,34 @@
+"""E1 — regenerate the Fig. 1 hierarchy map, empirically.
+
+Classifies litmus + random histories against the five ordered criteria,
+asserts zero inclusion violations (the arrows of Fig. 1) and reports a
+strictness witness for every edge (each criterion is genuinely distinct).
+The benchmark measures population-classification throughput.
+"""
+
+from repro.analysis import classify_population, format_report
+
+from _util import emit
+
+
+def test_fig1_hierarchy(benchmark):
+    report = benchmark.pedantic(
+        lambda: classify_population(seed=2026, random_histories=45),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig1_hierarchy", format_report(report))
+    assert report.inclusion_violations == []
+    assert report.missing_witnesses() == []
+
+
+def test_fig1_random_only_inclusions(benchmark):
+    """Inclusion audit on purely random histories (no litmus seeding)."""
+    report = benchmark.pedantic(
+        lambda: classify_population(
+            seed=77, random_histories=30, include_litmus=False
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert report.inclusion_violations == []

@@ -1,0 +1,84 @@
+"""E3 — regenerate the Fig. 3 litmus classification table.
+
+The discrete heart of the reproduction: all nine histories of Fig. 3,
+classified by the exact checkers against every criterion, side by side
+with the paper's captions.  The benchmark measures the full-table
+classification time (the cost of deciding all 9 histories x 6 criteria).
+"""
+
+import pytest
+
+from repro.criteria import check
+from repro.litmus import all_litmus
+
+from _util import emit
+
+CRITERIA = ("SC", "CC", "CCV", "PC", "WCC", "CM")
+
+
+def classify_all():
+    table = {}
+    for litmus in all_litmus():
+        row = {}
+        for criterion in CRITERIA:
+            if criterion in litmus.expected:
+                row[criterion] = check(litmus.history, litmus.adt, criterion).ok
+        table[litmus.key] = (litmus, row)
+    return table
+
+
+def _render(table) -> str:
+    lines = [
+        f"{'fig':4s} {'caption claims':24s} "
+        + " ".join(f"{c:>5s}" for c in CRITERIA)
+        + "   verdict"
+    ]
+    mismatches = 0
+    for key, (litmus, row) in sorted(table.items()):
+        cells = []
+        for criterion in CRITERIA:
+            if criterion not in row:
+                cells.append("    -")
+                continue
+            measured = row[criterion]
+            expected = litmus.expected[criterion]
+            mark = "yes" if measured else "no"
+            if measured != expected:
+                mark += "!"
+                mismatches += 1
+            cells.append(f"{mark:>5s}")
+        claims = ",".join(
+            f"{'' if v else 'not '}{c}" for c, v in sorted(litmus.paper_claims.items())
+        )
+        status = "match" if all(
+            row[c] == litmus.expected[c] for c in row
+        ) else "MISMATCH"
+        lines.append(f"{key:4s} {claims[:24]:24s} " + " ".join(cells) + f"   {status}")
+    lines.append(
+        f"\ncells disagreeing with the verified classification: {mismatches} "
+        "(expected 0; see litmus.figures for the documented 3g caption note)"
+    )
+    return "\n".join(lines)
+
+
+def test_fig3_litmus_table(benchmark):
+    table = benchmark.pedantic(classify_all, rounds=3, iterations=1)
+    emit("fig3_litmus_table", _render(table))
+    for key, (litmus, row) in table.items():
+        for criterion, measured in row.items():
+            assert measured == litmus.expected[criterion], (key, criterion)
+
+
+@pytest.mark.parametrize("criterion", CRITERIA)
+def test_single_criterion_cost(benchmark, criterion):
+    """Per-criterion decision cost across the whole litmus suite."""
+    cases = [
+        (litmus.history, litmus.adt)
+        for litmus in all_litmus()
+        if criterion in litmus.expected
+    ]
+
+    def run():
+        return [check(h, adt, criterion).ok for h, adt in cases]
+
+    benchmark(run)

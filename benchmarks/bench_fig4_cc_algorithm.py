@@ -1,0 +1,93 @@
+"""E4 — the Fig. 4 algorithm: throughput, message cost, wait-freedom.
+
+Measures simulated-operation throughput (host-seconds per simulated op),
+messages per operation with and without reliability flooding, and
+model-checks a sampled run against the exact CC checker (Prop. 6).
+"""
+
+import random
+
+import pytest
+
+from repro.adts import WindowStreamArray
+from repro.algorithms import CCWindowArray
+from repro.analysis.harness import run_workload, window_script
+from repro.criteria import check
+from repro.runtime import DelayModel
+
+from _util import emit
+
+
+def _scripts(seed, n, length, streams):
+    return [
+        window_script(random.Random(seed + pid), length, streams)
+        for pid in range(n)
+    ]
+
+
+@pytest.mark.parametrize("n", [2, 4, 8])
+def test_fig4_throughput(benchmark, n):
+    """Host cost of simulating the CC algorithm as processes scale."""
+    scripts = _scripts(11, n, 30, 2)
+
+    def run():
+        return run_workload(
+            CCWindowArray, n, scripts, seed=n, streams=2, k=2, flood=False
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.ops == 30 * n
+    assert result.mean_latency == 0.0  # wait-free
+
+
+def test_fig4_message_cost(benchmark):
+    rows = ["messages per operation, write ratio 0.5 (reads are local):",
+            f"{'n':>3s} {'direct':>8s} {'flooded':>8s}"]
+    for n in (2, 4, 8):
+        per = {}
+        for flood in (False, True):
+            scripts = _scripts(13, n, 20, 2)
+            result = run_workload(
+                CCWindowArray, n, scripts, seed=5, streams=2, k=2, flood=flood
+            )
+            per[flood] = result.messages_per_op
+        rows.append(f"{n:>3d} {per[False]:8.2f} {per[True]:8.2f}")
+    benchmark.pedantic(lambda: run_workload(
+        CCWindowArray, 4, _scripts(13, 4, 20, 2), seed=5, streams=2, k=2,
+        flood=False), rounds=1, iterations=1)
+    rows.append("\ndirect ~ (n-1)/2 per op; flooding pays ~(n-1)^2 for crash-"
+                "tolerant agreement")
+    emit("fig4_message_cost", "\n".join(rows))
+
+
+def test_fig4_model_checked(benchmark):
+    """End-to-end: simulate then verify CC with the exact checker."""
+    adt = WindowStreamArray(2, 2)
+    scripts = _scripts(17, 3, 4, 2)
+
+    def run_and_check():
+        result = run_workload(
+            CCWindowArray, 3, scripts, seed=9, streams=2, k=2,
+            delay=DelayModel.uniform(0.5, 10.0),
+        )
+        verdict = check(result.history, adt, "CC")
+        return verdict
+
+    verdict = benchmark.pedantic(run_and_check, rounds=2, iterations=1)
+    assert verdict.ok
+
+
+def test_fig4_latency_independent_of_delay(benchmark):
+    lines = ["mean operation latency (simulated time units) vs mean delay:"]
+    for d in (1.0, 10.0, 100.0):
+        result = run_workload(
+            CCWindowArray, 3, _scripts(19, 3, 10, 2), seed=2,
+            streams=2, k=2, delay=DelayModel.uniform(0.5 * d, 1.5 * d),
+        )
+        lines.append(f"  delay~{d:6.1f}: latency={result.mean_latency}")
+        assert result.mean_latency == 0.0
+    benchmark.pedantic(lambda: run_workload(
+        CCWindowArray, 3, _scripts(19, 3, 10, 2), seed=2, streams=2, k=2),
+        rounds=1, iterations=1)
+    lines.append("wait-freedom: latency is identically 0 at every delay")
+    emit("fig4_wait_freedom", "\n".join(lines))

@@ -1,0 +1,27 @@
+"""E6 — operation latency vs network delay: the cost of strong consistency.
+
+Regenerates the motivating claim of Sec. 1 ([3], [16]): the weak-criteria
+algorithms answer in 0 network time at every delay; the sequentially
+consistent baseline pays a round trip that grows linearly with the delay.
+"""
+
+from repro.analysis import format_sweep, latency_sweep
+
+from _util import emit
+
+DELAYS = (0.5, 1.0, 2.0, 5.0, 10.0)
+
+
+def test_latency_sweep(benchmark):
+    points = benchmark.pedantic(
+        lambda: latency_sweep(delays=DELAYS, ops_per_process=8, seed=2026),
+        rounds=1,
+        iterations=1,
+    )
+    emit("latency_vs_delay", format_sweep(points))
+    wait_free = [p for p in points if "sequencer" not in p.algorithm]
+    sequenced = [p for p in points if "sequencer" in p.algorithm]
+    assert all(p.mean_latency == 0.0 for p in wait_free)
+    # SC latency grows with delay (roughly linearly)
+    by_delay = {p.mean_delay: p.mean_latency for p in sequenced}
+    assert by_delay[10.0] > 5 * by_delay[1.0]

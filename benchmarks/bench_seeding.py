@@ -1,0 +1,47 @@
+"""Ablation — semantic seeding of the causal-order search.
+
+Measures the effect of seeding mandatory explanation edges (unique
+writers of read values) into the initial causal-past family, on the full
+litmus suite across WCC/CC/CCv.  Answers are cross-validated invariant in
+``tests/test_seeding.py``; here we quantify the work saved.
+"""
+
+import pytest
+
+from repro.criteria.causal_search import CausalSearch
+from repro.litmus import all_litmus
+from repro.litmus.extra import extra_litmus
+
+from _util import emit
+
+MODES = ("WCC", "CC", "CCV")
+
+
+def _run_suite(seed_semantic: bool):
+    families = 0
+    event_checks = 0
+    for litmus in list(all_litmus()) + list(extra_litmus()):
+        for mode in MODES:
+            search = CausalSearch(
+                litmus.history, litmus.adt, mode, seed_semantic=seed_semantic
+            )
+            search.run()
+            families += search.stats.families_explored
+            event_checks += search.stats.event_checks
+    return families, event_checks
+
+
+@pytest.mark.parametrize("seeded", [False, True], ids=["unseeded", "seeded"])
+def test_seeding_ablation(benchmark, seeded):
+    families, event_checks = benchmark(lambda: _run_suite(seeded))
+    if seeded:
+        unseeded_families, unseeded_checks = _run_suite(False)
+        lines = [
+            "causal-order search work on the full litmus suites (18 histories x 3 modes):",
+            f"  {'':10s} {'families':>10s} {'event checks':>14s}",
+            f"  {'unseeded':10s} {unseeded_families:>10d} {unseeded_checks:>14d}",
+            f"  {'seeded':10s} {families:>10d} {event_checks:>14d}",
+            f"\nreduction: {unseeded_families / max(1, families):.1f}x fewer families explored",
+        ]
+        emit("seeding_ablation", "\n".join(lines))
+        assert families < unseeded_families

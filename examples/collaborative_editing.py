@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Collaborative text editing under causal convergence (CCI model, [23]).
+
+Three authors edit a shared document concurrently.  The paper presents
+causal convergence (Sec. 5) as the criterion combining causality
+preservation with convergence — precisely the C and C of the CCI model of
+collaborative editing.  We replicate an :class:`EditSequence` with the
+generic CCv algorithm: every replica applies the same Lamport-ordered
+update log, so all authors converge to the *same* document, and causally
+dependent edits (a fix typed after seeing a typo) are never reordered.
+"""
+
+from repro.adts import EditSequence
+from repro.algorithms import GenericCCv
+from repro.core.operations import Invocation
+from repro.criteria import check
+from repro.runtime import DelayModel, HistoryRecorder, Network, Simulator
+
+
+def main() -> None:
+    doc = EditSequence()
+    sim = Simulator(seed=2026)
+    network = Network(sim, 3, delay=DelayModel.uniform(0.5, 6.0))
+    recorder = HistoryRecorder(3)
+    shared = GenericCCv(sim, network, recorder, adt=doc)
+
+    def type_text(pid: int, at: float, pos: int, text: str) -> None:
+        def go() -> None:
+            for offset, ch in enumerate(text):
+                shared.invoke(pid, Invocation("insert", (pos + offset, ch)))
+        sim.schedule(at, go)
+
+    # author 0 writes the headline, authors 1 and 2 add words concurrently
+    type_text(0, 0.0, 0, "causal")
+    type_text(1, 0.5, 0, "beyond ")
+    type_text(2, 1.0, 0, "memory ")
+
+    # author 1 appends punctuation after having seen some of the others
+    sim.schedule(
+        15.0,
+        lambda: shared.invoke(
+            1, Invocation("insert", (len(shared.state_of(1)), "!"))
+        ),
+    )
+    sim.run()
+
+    print("final documents per author:")
+    docs = []
+    for pid in range(3):
+        text = doc.output(shared.state_of(pid), Invocation("read"))
+        docs.append(text)
+        print(f"  author {pid}: {text!r}")
+    assert len(set(docs)) == 1, "causal convergence guarantees agreement"
+    print("\nall replicas converged to the same document (CCv).")
+
+    history = recorder.to_history()
+    verdict = check(history, doc, "WCC", max_nodes=500_000)
+    print(f"observed history is weakly causally consistent: {verdict.ok}")
+
+
+if __name__ == "__main__":
+    main()

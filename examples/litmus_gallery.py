@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""The Fig. 3 litmus gallery: print every history, its paper caption, and
+the classification computed by the exact checkers — the paper-vs-measured
+table of experiment E3 in human-readable form."""
+
+from repro.criteria import check
+from repro.litmus import all_litmus
+
+CRITERIA = ("SC", "CC", "CCV", "PC", "WCC", "CM")
+
+
+def main() -> None:
+    print(f"{'fig':4s} {'title':26s} " + " ".join(f"{c:>4s}" for c in CRITERIA))
+    print("-" * 70)
+    mismatches = 0
+    for litmus in all_litmus():
+        cells = []
+        for criterion in CRITERIA:
+            if criterion not in litmus.expected:
+                cells.append("   -")
+                continue
+            got = check(litmus.history, litmus.adt, criterion).ok
+            mark = "yes" if got else "no"
+            if got != litmus.expected[criterion]:
+                mark += "!"
+                mismatches += 1
+            cells.append(f"{mark:>4s}")
+        print(f"{litmus.key:4s} {litmus.title:26s} " + " ".join(cells))
+    print("-" * 70)
+    print(f"mismatches vs verified classification: {mismatches} (expected 0)")
+    print("\nhistories:")
+    for litmus in all_litmus():
+        print(f"  {litmus.key}: {litmus.history}")
+        if litmus.notes:
+            print(f"      note: {litmus.notes}")
+
+    # why does 3b fail WCC? reproduce the paper's prose argument
+    from repro.criteria import explain
+    from repro.litmus import fig3b
+
+    litmus = fig3b()
+    print("\nwhy Fig. 3b is not weakly causally consistent:")
+    print(explain(litmus.history, litmus.adt, "WCC").render(litmus.history))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""The question/answer forum — why causality matters (Sec. 3.2).
+
+A user posts a *question*; another reads it and posts an *answer*; a third
+user must never see the answer without the question (weak causal
+consistency precludes exactly this).
+
+We run the scenario over two replication strategies on identical
+schedules:
+
+- the eventually consistent LWW baseline (non-causal delivery), which
+  produces the anomaly on some schedules, and
+- the generic causally consistent algorithm (Fig. 4 generalised), which
+  never does — and the observed histories confirm it via the exact WCC
+  checker.
+"""
+
+from repro.adts import MemoryADT
+from repro.algorithms import GenericCausal, LwwReplication
+from repro.core.operations import Invocation
+from repro.criteria import check
+from repro.runtime import DelayModel, HistoryRecorder, Network, Simulator
+
+
+def run_forum(algorithm_cls, seed: int):
+    """One forum interaction; returns (observed history, anomaly?)."""
+    mem = MemoryADT(("question", "answer"))
+    sim = Simulator(seed=seed)
+    network = Network(sim, 3, delay=DelayModel.uniform(0.5, 20.0))
+    recorder = HistoryRecorder(3)
+    forum = algorithm_cls(sim, network, recorder, adt=mem)
+
+    # p0 posts the question immediately
+    forum.invoke(0, Invocation("w", ("question", 1)))
+
+    # p1 answers as soon as it has seen the question
+    def try_answer() -> None:
+        if forum.invoke(1, Invocation("r", ("question",))) == 1:
+            forum.invoke(1, Invocation("w", ("answer", 2)))
+        else:
+            sim.schedule(1.0, try_answer)
+
+    sim.schedule(1.0, try_answer)
+
+    # p2 browses the forum a bit later: answer first, then question
+    observed = {}
+
+    def browse() -> None:
+        observed["answer"] = forum.invoke(2, Invocation("r", ("answer",)))
+        observed["question"] = forum.invoke(2, Invocation("r", ("question",)))
+
+    sim.schedule(8.0, browse)
+    sim.run()
+    anomaly = observed.get("answer") == 2 and observed.get("question") == 0
+    return recorder.to_history(), mem, anomaly
+
+
+def main() -> None:
+    print("question/answer forum over 40 random schedules\n")
+    for name, cls in (("LWW (eventual)", LwwReplication),
+                      ("causal (Fig. 4 generalised)", GenericCausal)):
+        anomalies = 0
+        wcc_violations = 0
+        for seed in range(40):
+            history, mem, anomaly = run_forum(cls, seed)
+            if anomaly:
+                anomalies += 1
+                if not check(history, mem, "WCC").ok:
+                    wcc_violations += 1
+        print(f"  {name:30s}: {anomalies:2d}/40 schedules showed the "
+              f"answer-without-question anomaly"
+              + (f" ({wcc_violations} confirmed WCC violations)" if anomalies else ""))
+    print("\nThe causal algorithm is anomaly-free by construction (Prop. 6);")
+    print("the LWW baseline converges but cannot preserve causality.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Distributed task queue: why the split queue Q' exists (Sec. 4.1).
+
+Workers share a queue of tasks under causal consistency.  With the
+combined ``pop`` (Fig. 3f), two workers popping concurrently can *lose a
+task forever* (and process another twice).  The paper's split queue Q'
+(``hd`` + conditional ``rh``) trades exactly-once for at-least-once:
+every task is read by someone, duplicates are possible — the classic
+at-least-once work queue, derived here from consistency criteria.
+
+We run both designs over the generic causally consistent replication on
+identical schedules and count lost/duplicated tasks.
+"""
+
+from repro.adts import FifoQueue, SplitQueue
+from repro.algorithms import GenericCausal
+from repro.core.operations import BOTTOM, Invocation
+from repro.runtime import DelayModel, HistoryRecorder, Network, Simulator
+
+TASKS = list(range(1, 7))
+WORKERS = 2
+
+
+def run_combined_pop(seed: int):
+    """Workers pop the combined queue concurrently."""
+    q = FifoQueue()
+    sim = Simulator(seed=seed)
+    net = Network(sim, WORKERS + 1, delay=DelayModel.uniform(0.5, 6.0))
+    obj = GenericCausal(sim, net, HistoryRecorder(WORKERS + 1), adt=q)
+    for task in TASKS:  # process 0 is the producer
+        obj.invoke(0, Invocation("push", (task,)))
+    done = []
+    deadline = 80.0  # long after every message has settled
+
+    def worker(pid: int) -> None:
+        out = obj.invoke(pid, Invocation("pop"))
+        if out is not BOTTOM:
+            done.append(out)
+        if sim.now < deadline:  # keep polling: tasks may still propagate
+            sim.schedule(sim.rng.uniform(0.5, 2.0), lambda: worker(pid))
+
+    for w in range(1, WORKERS + 1):
+        sim.schedule(1.0, lambda pid=w: worker(pid))
+    sim.run()
+    return done
+
+
+def run_split_queue(seed: int):
+    """Workers use hd + rh(v): remove only what they actually saw."""
+    q = SplitQueue()
+    sim = Simulator(seed=seed)
+    net = Network(sim, WORKERS + 1, delay=DelayModel.uniform(0.5, 6.0))
+    obj = GenericCausal(sim, net, HistoryRecorder(WORKERS + 1), adt=q)
+    for task in TASKS:
+        obj.invoke(0, Invocation("push", (task,)))
+    done = []
+    deadline = 80.0
+
+    def worker(pid: int) -> None:
+        head = obj.invoke(pid, Invocation("hd"))
+        if head is not BOTTOM:
+            done.append(head)
+            obj.invoke(pid, Invocation("rh", (head,)))
+        if sim.now < deadline:
+            sim.schedule(sim.rng.uniform(0.5, 2.0), lambda: worker(pid))
+
+    for w in range(1, WORKERS + 1):
+        sim.schedule(1.0, lambda pid=w: worker(pid))
+    sim.run()
+    return done
+
+
+def main() -> None:
+    lost_combined = dup_combined = 0
+    lost_split = dup_split = 0
+    runs = 30
+    for seed in range(runs):
+        for runner, counters in ((run_combined_pop, "combined"), (run_split_queue, "split")):
+            processed = runner(seed)
+            lost = len(set(TASKS) - set(processed))
+            dups = len(processed) - len(set(processed))
+            if counters == "combined":
+                lost_combined += lost
+                dup_combined += dups
+            else:
+                lost_split += lost
+                dup_split += dups
+    print(f"{runs} runs, {len(TASKS)} tasks each, {WORKERS} concurrent workers\n")
+    print(f"  combined pop (Q, Fig. 3f): {lost_combined:3d} tasks lost, "
+          f"{dup_combined:3d} duplicated")
+    print(f"  split hd/rh (Q', Fig. 3g): {lost_split:3d} tasks lost, "
+          f"{dup_split:3d} duplicated")
+    assert lost_split == 0, "Q' must never lose a task"
+    print("\nthe split queue never loses a task (at-least-once), exactly as")
+    print("Sec. 4.1 argues: 'using this technique, all the values are read")
+    print("at least once'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""repro — reproduction of *Causal Consistency: Beyond Memory* (PPoPP'16).
+
+The library has four layers:
+
+- :mod:`repro.core` — the formalism of Sec. 2: ADTs as transducers,
+  distributed histories, sequential specifications;
+- :mod:`repro.adts` — concrete data types (window streams ``W_k``, memory
+  ``M_X``, queues ``Q``/``Q'``, counters, stacks, sets, edit sequences);
+- :mod:`repro.criteria` — exact checkers for the consistency criteria
+  (SC, PC, WCC, CC, CCv, causal memory, EC/UC, session guarantees);
+- :mod:`repro.runtime` + :mod:`repro.algorithms` — the wait-free
+  asynchronous message-passing substrate of Sec. 6 and the replication
+  algorithms of Figs. 4–5 plus baselines.
+
+Quickstart::
+
+    from repro import History, WindowStream, check
+
+    w2 = WindowStream(2)
+    h = History.from_processes([
+        [w2.write(1), w2.read(0, 1)],
+        [w2.write(2), w2.read(1, 2)],
+    ])
+    assert check(h, w2, "SC").ok        # the history of Fig. 3d
+"""
+
+from .adts import (
+    Counter,
+    EditSequence,
+    FifoQueue,
+    GrowSet,
+    MemoryADT,
+    Register,
+    SplitQueue,
+    Stack,
+    WindowStream,
+    WindowStreamArray,
+)
+from .core import (
+    BOTTOM,
+    HIDDEN,
+    AbstractDataType,
+    Event,
+    History,
+    Invocation,
+    Operation,
+    inv,
+    op,
+)
+from .criteria import CheckResult, check, classify
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbstractDataType",
+    "Event",
+    "History",
+    "Invocation",
+    "Operation",
+    "BOTTOM",
+    "HIDDEN",
+    "inv",
+    "op",
+    "CheckResult",
+    "check",
+    "classify",
+    "Counter",
+    "EditSequence",
+    "FifoQueue",
+    "GrowSet",
+    "MemoryADT",
+    "Register",
+    "SplitQueue",
+    "Stack",
+    "WindowStream",
+    "WindowStreamArray",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Concrete abstract data types used throughout the paper."""
+
+from .counter import Counter
+from .gset import GrowSet
+from .memory import MemoryADT
+from .product import ProductADT
+from .queue import FifoQueue, SplitQueue
+from .register import Register
+from .sequence import EditSequence
+from .stack import Stack
+from .window_stream import WindowStream, WindowStreamArray
+
+__all__ = [
+    "Counter",
+    "GrowSet",
+    "MemoryADT",
+    "ProductADT",
+    "FifoQueue",
+    "SplitQueue",
+    "Register",
+    "EditSequence",
+    "Stack",
+    "WindowStream",
+    "WindowStreamArray",
+]

@@ -1,0 +1,63 @@
+"""Shared counter ADT.
+
+The introduction of the paper motivates "beyond memory" with counters: the
+value returned by a counter read depends on *all* increments in its past,
+not on a single most-recent write.  ``inc(d)`` is a pure update, ``read``
+a pure query, and ``fetch_inc`` (increment and return the previous value)
+is both — useful to exercise the update+query code paths of the checkers
+on a commutative object.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.adt import AbstractDataType, State
+from ..core.operations import BOTTOM, Invocation, Operation
+
+
+class Counter(AbstractDataType):
+    """An integer counter starting at 0."""
+
+    name = "Counter"
+
+    def initial_state(self) -> State:
+        return 0
+
+    def transition(self, state: State, invocation: Invocation) -> State:
+        if invocation.method == "inc":
+            delta = invocation.args[0] if invocation.args else 1
+            return state + delta
+        if invocation.method == "fetch_inc":
+            return state + 1
+        if invocation.method == "read":
+            return state
+        raise ValueError(f"Counter has no method {invocation.method!r}")
+
+    def output(self, state: State, invocation: Invocation) -> Any:
+        if invocation.method == "inc":
+            return BOTTOM
+        if invocation.method == "fetch_inc":
+            return state
+        if invocation.method == "read":
+            return state
+        raise ValueError(f"Counter has no method {invocation.method!r}")
+
+    def is_update(self, invocation: Invocation) -> bool:
+        if invocation.method == "inc":
+            delta = invocation.args[0] if invocation.args else 1
+            return delta != 0
+        return invocation.method == "fetch_inc"
+
+    def is_query(self, invocation: Invocation) -> bool:
+        return invocation.method in ("read", "fetch_inc")
+
+    # convenience constructors -----------------------------------------
+    def inc(self, delta: int = 1) -> Operation:
+        return Operation(Invocation("inc", (delta,)), BOTTOM)
+
+    def read(self, value: int) -> Operation:
+        return Operation(Invocation("read"), value)
+
+    def fetch_inc(self, previous: int) -> Operation:
+        return Operation(Invocation("fetch_inc"), previous)

@@ -1,0 +1,24 @@
+"""Replication algorithms: Figs. 4–5 and baselines."""
+
+from .base import ReplicatedObject
+from .cc_window import CCWindowArray
+from .ccv_window import CCvWindowArray
+from .generic_causal import GenericCausal
+from .generic_ccv import GenericCCv
+from .gossip_ccv import GossipCCvWindowArray, merge_windows
+from .lww import LwwReplication
+from .pram import PramReplication
+from .sc_sequencer import ScSequencer
+
+__all__ = [
+    "ReplicatedObject",
+    "CCWindowArray",
+    "CCvWindowArray",
+    "GenericCausal",
+    "GenericCCv",
+    "GossipCCvWindowArray",
+    "merge_windows",
+    "LwwReplication",
+    "PramReplication",
+    "ScSequencer",
+]

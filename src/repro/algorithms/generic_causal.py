@@ -1,0 +1,78 @@
+"""Generic causally consistent replication for *any* ADT.
+
+The "beyond memory" pay-off of the paper: because causal consistency is
+defined against a sequential specification (Def. 9), the construction of
+Fig. 4 generalises verbatim — causally broadcast every update and apply
+updates in delivery order on a local copy of the transducer state; answer
+queries from the local state.
+
+Each process's local apply sequence is then a linearisation of a causal
+order (deliveries respect causal broadcast), and every query's value is
+explained by the prefix applied locally — the proof of Prop. 6 goes
+through unchanged for an arbitrary ADT.  The model-checking tests confirm
+CC on queues, counters, sets and edit sequences.
+
+For operations that are update *and* query (e.g. ``pop``), the output is
+evaluated on the local state at invocation (its causal past) and the side
+effect is propagated; this loose coupling is exactly the behaviour the
+paper discusses around Fig. 3f.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from ..core.adt import AbstractDataType
+from ..core.operations import Invocation
+from ..runtime.broadcast import CausalBroadcast
+from ..runtime.network import Network
+from ..runtime.recorder import HistoryRecorder
+from ..runtime.simulator import Simulator
+from .base import Callback, ReplicatedObject
+
+
+class GenericCausal(ReplicatedObject):
+    """Op-based causal replication of an arbitrary ADT."""
+
+    wait_free = True
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        recorder: Optional[HistoryRecorder] = None,
+        adt: Optional[AbstractDataType] = None,
+        flood: bool = True,
+    ) -> None:
+        super().__init__(sim, network, recorder)
+        if adt is None:
+            raise ValueError("GenericCausal requires an ADT")
+        self.adt = adt
+        self.name = f"CC({adt.name}) [generic]"
+        self.states: List[Any] = [adt.initial_state() for _ in range(self.n)]
+        self.applied: List[int] = [0] * self.n
+        self.broadcast = CausalBroadcast(network, flood=flood)
+        self.endpoints = [
+            self.broadcast.endpoint(pid, self._receiver(pid)) for pid in range(self.n)
+        ]
+
+    def _receiver(self, pid: int):
+        def on_deliver(_origin: int, invocation: Invocation) -> None:
+            self.states[pid] = self.adt.transition(self.states[pid], invocation)
+            self.applied[pid] += 1
+
+        return on_deliver
+
+    def invoke(
+        self, pid: int, invocation: Invocation, callback: Optional[Callback] = None
+    ) -> Optional[Any]:
+        start = self.sim.now
+        # evaluate lambda on the state of the causal past, before the
+        # (synchronous, local-first) delivery applies delta
+        output = self.adt.output(self.states[pid], invocation)
+        if self.adt.is_update(invocation):
+            self.endpoints[pid].broadcast(invocation)
+        return self._complete(pid, invocation, output, start, callback)
+
+    def state_of(self, pid: int) -> Any:
+        return self.states[pid]

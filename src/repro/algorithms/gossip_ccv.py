@@ -1,0 +1,153 @@
+"""State-based (gossip / anti-entropy) causal convergence.
+
+The paper cites CRDTs [22] as the state-based route to convergence; this
+module is the state-based counterpart of Fig. 5.  Each replica keeps, per
+stream, the k timestamp-largest writes (a join-semilattice: the merge of
+two windows is the top-k of their union), writes are Lamport-stamped as
+in Fig. 5, and replicas periodically push their whole state to a random
+peer instead of broadcasting operations.
+
+Because the state is a semilattice and gossip retries forever, the
+algorithm converges even over *lossy* links, where the op-based Fig. 5
+without flooding loses writes permanently — the trade-off measured in
+``benchmarks/bench_gossip.py``.  The price is message size (the whole
+window array travels) and the loss of per-operation causality across
+streams during a partition of the gossip graph.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from ..core.operations import BOTTOM, Invocation
+from ..runtime.network import Network
+from ..runtime.recorder import HistoryRecorder
+from ..runtime.simulator import Simulator
+from .base import Callback, ReplicatedObject
+
+Stamp = Tuple[int, int]
+Cell = Tuple[Any, Stamp]
+
+
+def merge_windows(a: List[Cell], b: List[Cell], k: int) -> List[Cell]:
+    """Join of two windows: the k largest distinct stamps, sorted.
+
+    Stamps are unique per write ((Lamport, pid) with the clock ticking on
+    every write), so deduplicating by stamp is exact.
+    """
+    by_stamp = {cell[1]: cell for cell in a}
+    for cell in b:
+        by_stamp[cell[1]] = cell
+    cells = sorted(by_stamp.values(), key=lambda cell: cell[1])
+    return cells[-k:] if len(cells) >= k else cells
+
+
+class GossipCCvWindowArray(ReplicatedObject):
+    """Anti-entropy replication of an array of K window streams."""
+
+    name = "CCv(W_k^K) [gossip]"
+    wait_free = True
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        recorder: Optional[HistoryRecorder] = None,
+        streams: int = 1,
+        k: int = 2,
+        default: Any = 0,
+        gossip_interval: float = 1.0,
+        fanout: int = 1,
+    ) -> None:
+        super().__init__(sim, network, recorder)
+        self.streams = streams
+        self.k = k
+        self.gossip_interval = gossip_interval
+        self.fanout = max(1, fanout)
+        self.state: List[List[List[Cell]]] = [
+            [[(default, (0, 0))] * k for _ in range(streams)] for _ in range(self.n)
+        ]
+        self.vtime: List[int] = [0] * self.n
+        self.rounds = 0
+        self._running = False
+        for pid in range(self.n):
+            network.attach(pid, self._receiver(pid))
+
+    # ------------------------------------------------------------------
+    # Gossip engine
+    # ------------------------------------------------------------------
+    def start_gossip(self, rounds: Optional[int] = None) -> None:
+        """Schedule periodic anti-entropy; ``rounds=None`` keeps gossiping
+        as long as other simulation activity exists (each round schedules
+        the next, so callers bound it or use :meth:`stop_gossip`)."""
+        self._running = True
+        self._budget = rounds
+        self.sim.schedule(self.gossip_interval, self._gossip_tick)
+
+    def stop_gossip(self) -> None:
+        self._running = False
+
+    def _gossip_tick(self) -> None:
+        if not self._running:
+            return
+        if self._budget is not None:
+            if self._budget <= 0:
+                self._running = False
+                return
+            self._budget -= 1
+        self.rounds += 1
+        for pid in range(self.n):
+            if self.network.is_crashed(pid):
+                continue
+            for _ in range(self.fanout):
+                peer = self.sim.rng.randrange(self.n - 1)
+                if peer >= pid:
+                    peer += 1
+                snapshot = [list(stream) for stream in self.state[pid]]
+                self.network.send(pid, peer, ("state", self.vtime[pid], snapshot))
+        if self._running and (self._budget is None or self._budget > 0):
+            self.sim.schedule(self.gossip_interval, self._gossip_tick)
+
+    def _receiver(self, pid: int):
+        def on_receive(_src: int, payload: Any) -> None:
+            kind, vtime, snapshot = payload
+            if kind != "state":
+                return
+            self.vtime[pid] = max(self.vtime[pid], vtime)
+            for x in range(self.streams):
+                self.state[pid][x] = merge_windows(
+                    self.state[pid][x], snapshot[x], self.k
+                )
+
+        return on_receive
+
+    # ------------------------------------------------------------------
+    def invoke(
+        self, pid: int, invocation: Invocation, callback: Optional[Callback] = None
+    ) -> Optional[Any]:
+        start = self.sim.now
+        if invocation.method == "r":
+            (x,) = invocation.args
+            output = tuple(cell[0] for cell in self.state[pid][x])
+            return self._complete(pid, invocation, output, start, callback)
+        if invocation.method == "w":
+            x, value = invocation.args
+            self.vtime[pid] += 1
+            stamp = (self.vtime[pid], pid)
+            self.state[pid][x] = merge_windows(
+                self.state[pid][x], [(value, stamp)], self.k
+            )
+            return self._complete(pid, invocation, BOTTOM, start, callback)
+        raise ValueError(f"window array has no method {invocation.method!r}")
+
+    def window(self, pid: int, x: int) -> Tuple[Any, ...]:
+        return tuple(cell[0] for cell in self.state[pid][x])
+
+    def converged(self) -> bool:
+        """True when all live replicas expose identical windows."""
+        live = [pid for pid in range(self.n) if not self.network.is_crashed(pid)]
+        reference = [self.window(live[0], x) for x in range(self.streams)]
+        return all(
+            [self.window(pid, x) for x in range(self.streams)] == reference
+            for pid in live[1:]
+        )

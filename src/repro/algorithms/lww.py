@@ -1,0 +1,92 @@
+"""Last-writer-wins eventual-consistency baseline (Vogels [25]).
+
+Updates are timestamped with the writer's *physical* clock (simulated
+time plus a fixed per-process skew) and each replica replays its received
+updates in timestamp order.  Replicas with the same update set converge
+(EC holds at quiescence) but nothing preserves causality:
+
+- deliveries are unordered, so a process can hold an *answer* without its
+  *question* (a WCC violation, cf. the forum scenario of Sec. 3.2), and
+- skewed clocks can order a causally-later write *before* the write it
+  depends on in the converged state.
+
+Together with the CCv algorithm this realises the paper's placement of
+causal convergence strictly between EC and SC (Fig. 1); experiment E8/E9
+measure the anomaly rates.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, List, Optional, Tuple
+
+from ..core.adt import AbstractDataType
+from ..core.operations import Invocation
+from ..runtime.broadcast import ReliableBroadcast
+from ..runtime.network import Network
+from ..runtime.recorder import HistoryRecorder
+from ..runtime.simulator import Simulator
+from .base import Callback, ReplicatedObject
+
+LogKey = Tuple[float, int, int]  # (physical timestamp, pid, sender sequence)
+
+
+class LwwReplication(ReplicatedObject):
+    """Physically-timestamped log replication (eventually consistent)."""
+
+    wait_free = True
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        recorder: Optional[HistoryRecorder] = None,
+        adt: Optional[AbstractDataType] = None,
+        clock_skew: float = 0.0,
+        flood: bool = True,
+    ) -> None:
+        super().__init__(sim, network, recorder)
+        if adt is None:
+            raise ValueError("LwwReplication requires an ADT")
+        self.adt = adt
+        self.name = f"EC({adt.name}) [LWW]"
+        self.skews: List[float] = [
+            sim.rng.uniform(-clock_skew, clock_skew) for _ in range(self.n)
+        ]
+        self.logs: List[List[Tuple[LogKey, Invocation]]] = [[] for _ in range(self.n)]
+        self._seq: List[int] = [0] * self.n
+        self._cache: List[Optional[Any]] = [None] * self.n
+        self.broadcast = ReliableBroadcast(network, flood=flood)
+        self.endpoints = [
+            self.broadcast.endpoint(pid, self._receiver(pid)) for pid in range(self.n)
+        ]
+
+    def _receiver(self, pid: int):
+        def on_deliver(_origin: int, payload: Tuple[LogKey, Invocation]) -> None:
+            bisect.insort(self.logs[pid], payload)
+            self._cache[pid] = None
+
+        return on_deliver
+
+    def _state(self, pid: int) -> Any:
+        cached = self._cache[pid]
+        if cached is None:
+            state = self.adt.initial_state()
+            for _key, invocation in self.logs[pid]:
+                state = self.adt.transition(state, invocation)
+            self._cache[pid] = cached = state
+        return cached
+
+    def invoke(
+        self, pid: int, invocation: Invocation, callback: Optional[Callback] = None
+    ) -> Optional[Any]:
+        start = self.sim.now
+        output = self.adt.output(self._state(pid), invocation)
+        if self.adt.is_update(invocation):
+            stamp = (self.sim.now + self.skews[pid], pid, self._seq[pid])
+            self._seq[pid] += 1
+            self.endpoints[pid].broadcast((stamp, invocation))
+        return self._complete(pid, invocation, output, start, callback)
+
+    def state_of(self, pid: int) -> Any:
+        return self._state(pid)

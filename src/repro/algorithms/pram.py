@@ -1,0 +1,63 @@
+"""PRAM / pipelined-consistency baseline (Lipton & Sandberg [16]).
+
+Identical to the generic causal construction but over a *FIFO* broadcast:
+updates are applied in per-sender order only, so causality across
+processes is not preserved — the classic "answer before question"
+anomaly becomes observable (a WCC violation witness that the causal
+algorithms never produce; experiment E9 measures the rates).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from ..core.adt import AbstractDataType
+from ..core.operations import Invocation
+from ..runtime.broadcast import FifoBroadcast
+from ..runtime.network import Network
+from ..runtime.recorder import HistoryRecorder
+from ..runtime.simulator import Simulator
+from .base import Callback, ReplicatedObject
+
+
+class PramReplication(ReplicatedObject):
+    """Op-based replication over FIFO broadcast (pipelined consistency)."""
+
+    wait_free = True
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        recorder: Optional[HistoryRecorder] = None,
+        adt: Optional[AbstractDataType] = None,
+        flood: bool = True,
+    ) -> None:
+        super().__init__(sim, network, recorder)
+        if adt is None:
+            raise ValueError("PramReplication requires an ADT")
+        self.adt = adt
+        self.name = f"PC({adt.name}) [PRAM]"
+        self.states: List[Any] = [adt.initial_state() for _ in range(self.n)]
+        self.broadcast = FifoBroadcast(network, flood=flood)
+        self.endpoints = [
+            self.broadcast.endpoint(pid, self._receiver(pid)) for pid in range(self.n)
+        ]
+
+    def _receiver(self, pid: int):
+        def on_deliver(_origin: int, invocation: Invocation) -> None:
+            self.states[pid] = self.adt.transition(self.states[pid], invocation)
+
+        return on_deliver
+
+    def invoke(
+        self, pid: int, invocation: Invocation, callback: Optional[Callback] = None
+    ) -> Optional[Any]:
+        start = self.sim.now
+        output = self.adt.output(self.states[pid], invocation)
+        if self.adt.is_update(invocation):
+            self.endpoints[pid].broadcast(invocation)
+        return self._complete(pid, invocation, output, start, callback)
+
+    def state_of(self, pid: int) -> Any:
+        return self.states[pid]

@@ -1,0 +1,79 @@
+"""Sequentially consistent baseline over total-order broadcast.
+
+Every operation — including reads — is funnelled through the sequencer
+and applied by all replicas in the same global order; the invoking
+process answers the operation only when its own message comes back
+sequenced.  This yields linearizability (hence SC), but the operation
+latency is a full round trip: exactly the communication-delay dependence
+that Sec. 1 cites ([3], [16]) as the price of strong consistency, and
+which the wait-free algorithms of Figs. 4–5 avoid.  Experiment E6 sweeps
+the network delay to expose the contrast; the sequencer is also a single
+point of failure, unlike the wait-free algorithms (fault-injection
+tests).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.adt import AbstractDataType
+from ..core.operations import Invocation
+from ..runtime.broadcast import TotalOrderBroadcast
+from ..runtime.network import Network
+from ..runtime.recorder import HistoryRecorder
+from ..runtime.simulator import Simulator
+from .base import Callback, ReplicatedObject
+
+
+class ScSequencer(ReplicatedObject):
+    """State-machine replication behind a sequencer (linearizable)."""
+
+    wait_free = False
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        recorder: Optional[HistoryRecorder] = None,
+        adt: Optional[AbstractDataType] = None,
+        sequencer: int = 0,
+    ) -> None:
+        super().__init__(sim, network, recorder)
+        if adt is None:
+            raise ValueError("ScSequencer requires an ADT")
+        self.adt = adt
+        self.name = f"SC({adt.name}) [sequencer]"
+        self.states: List[Any] = [adt.initial_state() for _ in range(self.n)]
+        self.broadcast = TotalOrderBroadcast(network, sequencer=sequencer)
+        # operations in flight at their origin: (pid, local op id) -> info
+        self._inflight: Dict[Tuple[int, int], Tuple[Invocation, float, Optional[Callback]]] = {}
+        self._next_op: List[int] = [0] * self.n
+        self.endpoints = [
+            self.broadcast.endpoint(pid, self._receiver(pid)) for pid in range(self.n)
+        ]
+
+    def _receiver(self, pid: int):
+        def on_deliver(origin: int, message: Any) -> None:
+            op_key: Tuple[int, int] = message["payload"]["op"]
+            invocation: Invocation = message["payload"]["invocation"]
+            # every replica applies the operation in the same global order;
+            # the origin also computes the output and completes the op
+            output = self.adt.output(self.states[pid], invocation)
+            self.states[pid] = self.adt.transition(self.states[pid], invocation)
+            if pid == origin and op_key in self._inflight:
+                inv, start, callback = self._inflight.pop(op_key)
+                self._complete(pid, inv, output, start, callback)
+
+        return on_deliver
+
+    def invoke(
+        self, pid: int, invocation: Invocation, callback: Optional[Callback] = None
+    ) -> Optional[Any]:
+        op_key = (pid, self._next_op[pid])
+        self._next_op[pid] += 1
+        self._inflight[op_key] = (invocation, self.sim.now, callback)
+        self.endpoints[pid].broadcast({"op": op_key, "invocation": invocation})
+        return None  # completes asynchronously after the round trip
+
+    def state_of(self, pid: int) -> Any:
+        return self.states[pid]

@@ -1,0 +1,125 @@
+"""Run harness: executes a replicated-object workload and returns the
+observed history plus run statistics.
+
+Shared by the model-checking tests, the benchmarks and the examples, so
+every experiment measures the same thing: a seeded simulation is built
+(simulator + network + recorder + algorithm + closed-loop clients), run to
+quiescence, optionally followed by a post-quiescence read phase whose
+events are tagged stable for the EC/UC checkers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Type
+
+from ..core.history import History
+from ..core.operations import Invocation
+from ..runtime.network import DelayModel, Network, NetworkStats
+from ..runtime.recorder import HistoryRecorder
+from ..runtime.simulator import Simulator
+from ..runtime.workload import Client
+from ..algorithms.base import ReplicatedObject
+
+
+@dataclass
+class RunResult:
+    """Everything an experiment needs to know about one run."""
+
+    history: History
+    stable: Set[int]
+    recorder: HistoryRecorder
+    network_stats: NetworkStats
+    algorithm: ReplicatedObject
+    sim: Simulator
+    duration: float
+    ops: int
+
+    @property
+    def mean_latency(self) -> float:
+        return self.recorder.mean_latency()
+
+    @property
+    def messages_per_op(self) -> float:
+        return self.network_stats.sent / self.ops if self.ops else 0.0
+
+
+def run_workload(
+    algorithm_cls: Type[ReplicatedObject],
+    n: int,
+    scripts: Sequence[Sequence[Invocation]],
+    seed: int = 0,
+    delay: Optional[DelayModel] = None,
+    think: Callable[[random.Random], float] = lambda rng: rng.uniform(0.1, 1.0),
+    quiescence_reads: Optional[Sequence[Invocation]] = None,
+    crash_plan: Optional[Dict[int, float]] = None,
+    settle_time: float = 1_000.0,
+    **algorithm_kwargs: Any,
+) -> RunResult:
+    """Execute ``scripts[p]`` on process ``p`` of a fresh replicated object.
+
+    After all clients finish, the simulation drains (messages settle), the
+    recorder is marked quiescent, and each *non-crashed* process performs
+    ``quiescence_reads`` — their results form the stable set used by the
+    EC/UC checkers.
+
+    ``crash_plan`` maps pids to crash times (crash-stop, Sec. 6.1).
+    """
+    if len(scripts) != n:
+        raise ValueError("one script per process required")
+    sim = Simulator(seed=seed)
+    network = Network(sim, n, delay=delay)
+    recorder = HistoryRecorder(n)
+    algorithm = algorithm_cls(sim, network, recorder, **algorithm_kwargs)
+
+    def record_invoke(pid: int, invocation: Invocation, done: Callable[[Any], None]) -> None:
+        algorithm.invoke(pid, invocation, done)
+
+    clients = [
+        Client(sim, pid, record_invoke, scripts[pid], think=think)
+        for pid in range(n)
+    ]
+    for pid, crash_time in (crash_plan or {}).items():
+        sim.schedule(crash_time, lambda p=pid: network.crash(p))
+    for client in clients:
+        client.start(initial_delay=0.0)
+    sim.run(max_events=5_000_000)
+    # quiescence: nothing in flight anymore (the heap is drained)
+    recorder.mark_quiescent()
+    if quiescence_reads:
+        for pid in range(n):
+            if network.is_crashed(pid):
+                continue
+            for invocation in quiescence_reads:
+                algorithm.invoke(pid, invocation)
+        sim.run(max_events=5_000_000)
+    ops = recorder.count()
+    return RunResult(
+        history=recorder.to_history(),
+        stable=recorder.stable_eids(),
+        recorder=recorder,
+        network_stats=network.stats,
+        algorithm=algorithm,
+        sim=sim,
+        duration=sim.now,
+        ops=ops,
+    )
+
+
+def window_script(
+    rng: random.Random,
+    length: int,
+    streams: int,
+    values: range = range(1, 1_000_000),
+    write_ratio: float = 0.5,
+) -> List[Invocation]:
+    """Random read/write script for a window-stream array."""
+    script: List[Invocation] = []
+    for _ in range(length):
+        x = rng.randrange(streams)
+        if rng.random() < write_ratio:
+            script.append(Invocation("w", (x, rng.choice(values))))
+        else:
+            script.append(Invocation("r", (x,)))
+    return script

@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands regenerate the paper's artifacts from a terminal:
+
+- ``litmus``     — the Fig. 3 classification table (E3);
+- ``hierarchy``  — the Fig. 1 inclusion audit on random histories (E1);
+- ``consensus``  — the consensus-number matrix of W_k (E7);
+- ``latency``    — operation latency vs network delay (E6);
+- ``sessions``   — session-guarantee violation rates per algorithm (E9);
+- ``classify``   — classify a user-supplied history from a JSON file.
+
+The JSON history format accepted by ``classify``::
+
+    {
+      "adt": {"type": "window", "k": 2},        // or "memory"/"queue"/...
+      "processes": [
+        [{"method": "w", "args": [1]},
+         {"method": "r", "output": [0, 1]}],
+        [{"method": "w", "args": [2]}]
+      ],
+      "criteria": ["SC", "CC", "CCV"]            // optional
+    }
+
+Outputs are printed as plain-text tables; exit status is 0 unless a
+requested assertion (e.g. litmus match) fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from .adts import (
+    Counter,
+    FifoQueue,
+    GrowSet,
+    MemoryADT,
+    Register,
+    SplitQueue,
+    Stack,
+    WindowStream,
+)
+from .core import History, Operation
+from .core.operations import BOTTOM, HIDDEN, Invocation
+from .criteria import check
+from .util.tables import render_table
+
+ADT_FACTORIES = {
+    "window": lambda spec: WindowStream(int(spec.get("k", 2))),
+    "register": lambda spec: Register(),
+    "memory": lambda spec: MemoryADT(spec.get("registers", "abcdef")),
+    "queue": lambda spec: FifoQueue(),
+    "split-queue": lambda spec: SplitQueue(),
+    "stack": lambda spec: Stack(),
+    "counter": lambda spec: Counter(),
+    "gset": lambda spec: GrowSet(),
+}
+
+
+def _decode_output(raw: Any) -> Any:
+    if raw is None:
+        return HIDDEN
+    if raw == "<bottom>":
+        return BOTTOM
+    if isinstance(raw, list):
+        return tuple(raw)
+    return raw
+
+
+def load_history(spec: Dict[str, Any]):
+    """Build ``(History, ADT, criteria)`` from a JSON specification."""
+    adt_spec = spec.get("adt", {})
+    adt_type = adt_spec.get("type", "window")
+    try:
+        adt = ADT_FACTORIES[adt_type](adt_spec)
+    except KeyError:
+        known = ", ".join(sorted(ADT_FACTORIES))
+        raise ValueError(f"unknown adt type {adt_type!r}; known: {known}") from None
+    rows = []
+    for row_spec in spec.get("processes", []):
+        row = []
+        for op_spec in row_spec:
+            invocation = Invocation(
+                op_spec["method"], tuple(op_spec.get("args", ()))
+            )
+            output = _decode_output(op_spec.get("output"))
+            if adt.is_update(invocation) and not adt.is_query(invocation) and output is HIDDEN:
+                output = BOTTOM
+            row.append(Operation(invocation, output))
+        rows.append(row)
+    criteria = [c.upper() for c in spec.get("criteria", ("SC", "CC", "CCV", "PC", "WCC"))]
+    return History.from_processes(rows), adt, criteria
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def cmd_litmus(args: argparse.Namespace) -> int:
+    from .litmus import all_litmus
+
+    criteria = ("SC", "CC", "CCV", "PC", "WCC", "CM")
+    rows = []
+    mismatches = 0
+    for litmus in all_litmus():
+        cells: List[str] = [litmus.key, litmus.title]
+        for criterion in criteria:
+            if criterion not in litmus.expected:
+                cells.append("-")
+                continue
+            got = check(litmus.history, litmus.adt, criterion).ok
+            mark = "yes" if got else "no"
+            if got != litmus.expected[criterion]:
+                mark += "!"
+                mismatches += 1
+            cells.append(mark)
+        rows.append(cells)
+    print(render_table(["fig", "title", *criteria], rows))
+    print(f"\nmismatches vs verified classification: {mismatches}")
+    return 1 if mismatches else 0
+
+
+def cmd_hierarchy(args: argparse.Namespace) -> int:
+    from .analysis import classify_population, format_report
+
+    report = classify_population(seed=args.seed, random_histories=args.histories)
+    print(format_report(report))
+    return 1 if report.inclusion_violations else 0
+
+
+def cmd_consensus(args: argparse.Namespace) -> int:
+    from .analysis import consensus_matrix, format_matrix
+
+    rates = consensus_matrix(
+        max_n=args.max_n, max_k=args.max_k, runs=args.runs, seed=args.seed
+    )
+    print(format_matrix(rates))
+    return 0
+
+
+def cmd_latency(args: argparse.Namespace) -> int:
+    from .analysis import format_sweep, latency_sweep
+
+    points = latency_sweep(
+        delays=tuple(args.delays), ops_per_process=args.ops, seed=args.seed
+    )
+    print(format_sweep(points))
+    return 0
+
+
+def cmd_sessions(args: argparse.Namespace) -> int:
+    from .analysis import format_session_table, session_guarantee_rates
+
+    reports = session_guarantee_rates(
+        runs=args.runs, ops_per_process=args.ops, seed=args.seed
+    )
+    print(format_session_table(reports))
+    return 0
+
+
+def cmd_classify(args: argparse.Namespace) -> int:
+    with open(args.file) as fh:
+        spec = json.load(fh)
+    history, adt, criteria = load_history(spec)
+    print(f"history: {history}")
+    rows = []
+    for criterion in criteria:
+        result = check(history, adt, criterion)
+        rows.append([criterion, "yes" if result.ok else "no", result.reason])
+    print(render_table(["criterion", "holds", "reason"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Causal Consistency: Beyond Memory (PPoPP'16) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("litmus", help="classify the Fig. 3 histories")
+    p.set_defaults(fn=cmd_litmus)
+
+    p = sub.add_parser("hierarchy", help="audit the Fig. 1 hierarchy")
+    p.add_argument("--histories", type=int, default=30)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_hierarchy)
+
+    p = sub.add_parser("consensus", help="consensus-number matrix of W_k")
+    p.add_argument("--max-n", type=int, default=5)
+    p.add_argument("--max-k", type=int, default=4)
+    p.add_argument("--runs", type=int, default=15)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_consensus)
+
+    p = sub.add_parser("latency", help="latency vs network delay sweep")
+    p.add_argument("--delays", type=float, nargs="+", default=[0.5, 1, 2, 5, 10])
+    p.add_argument("--ops", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_latency)
+
+    p = sub.add_parser("sessions", help="session-guarantee violation rates")
+    p.add_argument("--runs", type=int, default=15)
+    p.add_argument("--ops", type=int, default=6)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_sessions)
+
+    p = sub.add_parser("classify", help="classify a JSON history file")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_classify)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

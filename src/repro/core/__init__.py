@@ -1,0 +1,27 @@
+"""Core formalism: ADTs as transducers, operations, histories, replay."""
+
+from .adt import AbstractDataType, InstrumentedADT, classify_by_search
+from .history import Event, History
+from .operations import BOTTOM, HIDDEN, Invocation, Operation, inv, op, operations
+from .replay import accepts, first_violation, outputs_of, replay, seal, state_after
+
+__all__ = [
+    "AbstractDataType",
+    "InstrumentedADT",
+    "classify_by_search",
+    "Event",
+    "History",
+    "BOTTOM",
+    "HIDDEN",
+    "Invocation",
+    "Operation",
+    "inv",
+    "op",
+    "operations",
+    "accepts",
+    "first_violation",
+    "outputs_of",
+    "replay",
+    "seal",
+    "state_after",
+]

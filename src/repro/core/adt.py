@@ -1,0 +1,181 @@
+"""Abstract data types as transducers (Def. 1 of the paper).
+
+An ADT is a 6-tuple ``T = (Sigma_i, Sigma_o, Q, q0, delta, lambda)``:
+
+- ``Sigma_i`` / ``Sigma_o``: countable input/output alphabets;
+- ``Q`` a countable set of states with initial state ``q0``;
+- ``delta : Q x Sigma_i -> Q`` the (total) transition function;
+- ``lambda : Q x Sigma_i -> Sigma_o`` the (total) output function.
+
+States must be hashable and treated as immutable: every checker in
+:mod:`repro.criteria` memoises on ``(set-of-consumed-events, state)`` pairs,
+and the replication algorithms in :mod:`repro.algorithms` replay prefixes of
+update sequences.
+
+Updates vs queries (Sec. 2.1): an input symbol is an *update* when its
+transition is not always a loop, and a *query* when its output depends on
+the state.  These are semantic properties of the (possibly infinite)
+transducer, so concrete ADTs declare them via :meth:`AbstractDataType.is_update`
+and :meth:`AbstractDataType.is_query`; :func:`classify_by_search` offers a
+best-effort empirical classification used by the test-suite to cross-check
+the declarations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from typing import Any, Hashable, Iterable, Optional, Sequence, Tuple
+
+from .operations import BOTTOM, HIDDEN, Invocation, Operation
+
+State = Hashable
+
+
+class AbstractDataType(ABC):
+    """A sequential abstract data type ``T`` (Def. 1).
+
+    Subclasses implement the transducer (``initial_state``, ``transition``,
+    ``output``) and the update/query classification.  All other behaviour —
+    sequential specification membership, replay, linearisation search — is
+    derived in :mod:`repro.core.replay` and :mod:`repro.criteria`.
+    """
+
+    #: Human-readable type name, e.g. ``"W_2"`` or ``"Memory[a-z]"``.
+    name: str = "ADT"
+
+    # ------------------------------------------------------------------
+    # The transducer
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def initial_state(self) -> State:
+        """Return the initial abstract state ``q0``."""
+
+    @abstractmethod
+    def transition(self, state: State, invocation: Invocation) -> State:
+        """The transition function ``delta`` (total: must accept any state
+        and any invocation of the type's alphabet)."""
+
+    @abstractmethod
+    def output(self, state: State, invocation: Invocation) -> Any:
+        """The output function ``lambda`` (total)."""
+
+    # ------------------------------------------------------------------
+    # Update / query classification (Sec. 2.1)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def is_update(self, invocation: Invocation) -> bool:
+        """True when ``delta(q, invocation) != q`` for some state ``q``."""
+
+    @abstractmethod
+    def is_query(self, invocation: Invocation) -> bool:
+        """True when ``lambda`` depends on the state for this invocation."""
+
+    def is_pure_update(self, invocation: Invocation) -> bool:
+        """An update that is not a query (its output is constant)."""
+        return self.is_update(invocation) and not self.is_query(invocation)
+
+    def is_pure_query(self, invocation: Invocation) -> bool:
+        """A query that is not an update (no side effect)."""
+        return self.is_query(invocation) and not self.is_update(invocation)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def apply(self, state: State, invocation: Invocation) -> Tuple[State, Any]:
+        """Apply ``invocation`` to ``state``: returns ``(delta, lambda)``."""
+        return self.transition(state, invocation), self.output(state, invocation)
+
+    def run(self, invocations: Iterable[Invocation]) -> Tuple[State, list]:
+        """Run a sequence of invocations from ``q0``.
+
+        Returns the final state and the list of outputs, i.e. the unique
+        sequential execution of the program (useful in examples and tests).
+        """
+        state = self.initial_state()
+        outputs = []
+        for invocation in invocations:
+            state, out = self.apply(state, invocation)
+            outputs.append(out)
+        return state, outputs
+
+    def operation(self, invocation: Invocation) -> Operation:
+        """Run ``invocation`` on ``q0`` and wrap it with its output."""
+        return Operation(invocation, self.output(self.initial_state(), invocation))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ADT {self.name}>"
+
+
+def classify_by_search(
+    adt: AbstractDataType,
+    invocation: Invocation,
+    probe_sequences: Sequence[Sequence[Invocation]],
+) -> Tuple[Optional[bool], Optional[bool]]:
+    """Empirically classify ``invocation`` as (update?, query?).
+
+    Explores the states reached by each probe sequence and observes whether
+    ``delta`` moves any of them and whether ``lambda`` differs between any
+    two of them.  Returns ``(update, query)`` where a component is ``True``
+    when witnessed, and ``None`` when no witness was found (the property may
+    still hold on unexplored states — this helper is only used to
+    cross-check declared classifications in tests, never by the checkers).
+    """
+    states = {adt.initial_state()}
+    for seq in probe_sequences:
+        state = adt.initial_state()
+        states.add(state)
+        for step in seq:
+            state = adt.transition(state, step)
+            states.add(state)
+    update_witness: Optional[bool] = None
+    query_witness: Optional[bool] = None
+    outputs = set()
+    for state in states:
+        if adt.transition(state, invocation) != state:
+            update_witness = True
+        try:
+            outputs.add(adt.output(state, invocation))
+        except TypeError:  # unhashable output: compare pairwise
+            outs = [adt.output(s, invocation) for s in states]
+            if any(a != b for a, b in itertools.combinations(outs, 2)):
+                query_witness = True
+            outs = None
+    if len(outputs) > 1:
+        query_witness = True
+    return update_witness, query_witness
+
+
+class InstrumentedADT(AbstractDataType):
+    """Wrap an ADT and count transducer evaluations.
+
+    Used by the benchmark harness to report how much state-space the
+    checkers explore, independently of wall-clock noise.
+    """
+
+    def __init__(self, inner: AbstractDataType) -> None:
+        self.inner = inner
+        self.name = f"instrumented({inner.name})"
+        self.transitions = 0
+        self.outputs = 0
+
+    def initial_state(self) -> State:
+        return self.inner.initial_state()
+
+    def transition(self, state: State, invocation: Invocation) -> State:
+        self.transitions += 1
+        return self.inner.transition(state, invocation)
+
+    def output(self, state: State, invocation: Invocation) -> Any:
+        self.outputs += 1
+        return self.inner.output(state, invocation)
+
+    def is_update(self, invocation: Invocation) -> bool:
+        return self.inner.is_update(invocation)
+
+    def is_query(self, invocation: Invocation) -> bool:
+        return self.inner.is_query(invocation)
+
+    def reset_counters(self) -> None:
+        self.transitions = 0
+        self.outputs = 0

@@ -1,0 +1,319 @@
+"""Distributed histories (Def. 4).
+
+A history is ``H = (Sigma, E, Lambda, |->)``: a countable set of events,
+each labelled by an operation, partially ordered by the *program order*
+``|->`` in which every event has a finite past.  Processes are the maximal
+chains of the order (Sec. 2.2); the common case of communicating sequential
+processes yields a collection of disjoint chains, but the model — and this
+class — supports arbitrary partial orders (fork/join programs etc.).
+
+Implementation notes
+--------------------
+Events are densely numbered ``0..n-1`` and all order information is kept as
+Python-int bitmasks (arbitrary precision, so histories are not limited to
+64 events).  Checkers rely on:
+
+- :meth:`History.past_mask` — strict program-order past of an event;
+- :meth:`History.processes` — the maximal chains ``P_H``;
+- :meth:`History.update_mask` — the update events of a given ADT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .adt import AbstractDataType
+from .operations import HIDDEN, Invocation, Operation, operations
+
+
+@dataclass(frozen=True)
+class Event:
+    """A labelled event of a distributed history.
+
+    ``process`` is a convenience tag (the index of the chain the event was
+    declared on) and may be ``None`` for events of a general DAG history;
+    the authoritative notion of "process" is a maximal chain of the program
+    order, per the paper.
+    """
+
+    eid: int
+    process: Optional[int]
+    invocation: Invocation
+    output: Any = HIDDEN
+
+    @property
+    def operation(self) -> Operation:
+        return Operation(self.invocation, self.output)
+
+    @property
+    def hidden(self) -> bool:
+        return self.output is HIDDEN
+
+    def __repr__(self) -> str:
+        tag = f"p{self.process}" if self.process is not None else "e"
+        return f"<{tag}#{self.eid} {self.operation!r}>"
+
+
+def _transitive_reduction(n: int, pred_masks: List[int]) -> List[int]:
+    """Immediate-predecessor masks from full strict-past masks."""
+    ipred = []
+    for e in range(n):
+        mask = pred_masks[e]
+        imm = 0
+        rest = mask
+        while rest:
+            low = rest & -rest
+            p = low.bit_length() - 1
+            rest ^= low
+            # p is immediate iff no other predecessor q has p in its past
+            others = mask & ~low
+            dominated = False
+            sweep = others
+            while sweep:
+                qlow = sweep & -sweep
+                q = qlow.bit_length() - 1
+                sweep ^= qlow
+                if pred_masks[q] & low:
+                    dominated = True
+                    break
+            if not dominated:
+                imm |= low
+        ipred.append(imm)
+    return ipred
+
+
+class History:
+    """A finite distributed history with cached order structure."""
+
+    __slots__ = ("events", "_ipred_masks", "_past_masks", "_succ_masks", "_chains")
+
+    def __init__(self, events: Sequence[Event], past_masks: Sequence[int]):
+        self.events: Tuple[Event, ...] = tuple(events)
+        self._past_masks: Tuple[int, ...] = tuple(past_masks)
+        self._ipred_masks: Optional[Tuple[int, ...]] = None
+        self._succ_masks: Optional[Tuple[int, ...]] = None
+        self._chains: Optional[Tuple[Tuple[int, ...], ...]] = None
+        if len(self._past_masks) != len(self.events):
+            raise ValueError("one past mask per event required")
+        for e, mask in enumerate(self._past_masks):
+            if mask >> len(self.events):
+                raise ValueError(f"past mask of event {e} mentions unknown events")
+            if mask & (1 << e):
+                raise ValueError(f"event {e} cannot precede itself")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_processes(cls, rows: Sequence[Sequence[Any]]) -> "History":
+        """Build a history of communicating sequential processes.
+
+        ``rows[p]`` is the sequence of operations of process ``p`` (any
+        format accepted by :func:`repro.core.operations.operations`).  The
+        program order is the disjoint union of the row orders.
+        """
+        events: List[Event] = []
+        past_masks: List[int] = []
+        for p, row in enumerate(rows):
+            row_ops = operations(row)
+            prefix_mask = 0
+            for operation in row_ops:
+                eid = len(events)
+                events.append(Event(eid, p, operation.invocation, operation.output))
+                past_masks.append(prefix_mask)
+                prefix_mask |= 1 << eid
+        return cls(events, past_masks)
+
+    @classmethod
+    def from_dag(
+        cls,
+        ops: Sequence[Any],
+        edges: Iterable[Tuple[int, int]],
+        processes: Optional[Sequence[int]] = None,
+    ) -> "History":
+        """Build a history over an arbitrary program order.
+
+        ``edges`` are pairs ``(a, b)`` meaning ``a |-> b`` (need not be
+        transitively closed or reduced).  ``processes`` optionally tags each
+        event with a process id for display purposes.
+        """
+        row_ops = operations(ops)
+        n = len(row_ops)
+        adj: List[int] = [0] * n
+        for a, b in edges:
+            if not (0 <= a < n and 0 <= b < n):
+                raise ValueError(f"edge ({a},{b}) out of range")
+            adj[b] |= 1 << a
+        # transitive closure by repeated propagation in topological order
+        past = list(adj)
+        order = _topological_order(n, past)
+        if order is None:
+            raise ValueError("program order contains a cycle")
+        for e in order:
+            mask = past[e]
+            rest = mask
+            while rest:
+                low = rest & -rest
+                rest ^= low
+                mask |= past[low.bit_length() - 1]
+            past[e] = mask
+        tags = list(processes) if processes is not None else [None] * n
+        events = [
+            Event(eid, tags[eid], operation.invocation, operation.output)
+            for eid, operation in enumerate(row_ops)
+        ]
+        return cls(events, past)
+
+    # ------------------------------------------------------------------
+    # Basic structure
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def event(self, eid: int) -> Event:
+        return self.events[eid]
+
+    def past_mask(self, eid: int) -> int:
+        """Strict program-order past ``{e' : e' |-> e}`` as a bitmask."""
+        return self._past_masks[eid]
+
+    def po_lt(self, a: int, b: int) -> bool:
+        """``a |-> b`` (strictly)."""
+        return bool(self._past_masks[b] & (1 << a))
+
+    def concurrent(self, a: int, b: int) -> bool:
+        return a != b and not self.po_lt(a, b) and not self.po_lt(b, a)
+
+    def ipred_mask(self, eid: int) -> int:
+        """Immediate predecessors (Hasse diagram) of ``eid``."""
+        if self._ipred_masks is None:
+            self._ipred_masks = tuple(
+                _transitive_reduction(len(self), list(self._past_masks))
+            )
+        return self._ipred_masks[eid]
+
+    def succ_mask(self, eid: int) -> int:
+        """Strict program-order future of ``eid``."""
+        if self._succ_masks is None:
+            succ = [0] * len(self)
+            for e in range(len(self)):
+                mask = self._past_masks[e]
+                while mask:
+                    low = mask & -mask
+                    mask ^= low
+                    succ[low.bit_length() - 1] |= 1 << e
+            self._succ_masks = tuple(succ)
+        return self._succ_masks[eid]
+
+    # ------------------------------------------------------------------
+    # Processes = maximal chains (Sec. 2.2)
+    # ------------------------------------------------------------------
+    def processes(self, max_chains: int = 4096) -> Tuple[Tuple[int, ...], ...]:
+        """The maximal chains ``P_H`` of the program order.
+
+        For a history built with :meth:`from_processes` these are exactly
+        the declared rows.  For general DAGs they are enumerated from the
+        Hasse diagram (paths from a minimal to a maximal event); the count
+        is capped to guard against pathological inputs.
+        """
+        if self._chains is None:
+            n = len(self)
+            chains: List[Tuple[int, ...]] = []
+            minimal = [e for e in range(n) if not self._past_masks[e]]
+            isucc: List[List[int]] = [[] for _ in range(n)]
+            for e in range(n):
+                mask = self.ipred_mask(e)
+                while mask:
+                    low = mask & -mask
+                    mask ^= low
+                    isucc[low.bit_length() - 1].append(e)
+
+            def extend(path: List[int]) -> None:
+                if len(chains) >= max_chains:
+                    raise RuntimeError(
+                        f"history has more than {max_chains} maximal chains"
+                    )
+                succs = isucc[path[-1]]
+                if not succs:
+                    chains.append(tuple(path))
+                    return
+                for nxt in succs:
+                    path.append(nxt)
+                    extend(path)
+                    path.pop()
+
+            for start in minimal:
+                extend([start])
+            if not minimal and n:
+                raise RuntimeError("non-empty order with no minimal element")
+            self._chains = tuple(chains)
+        return self._chains
+
+    def process_of(self, eid: int) -> Tuple[int, ...]:
+        """Some maximal chain containing ``eid`` (the declared row when the
+        history came from :meth:`from_processes`)."""
+        for chain in self.processes():
+            if eid in chain:
+                return chain
+        raise KeyError(eid)
+
+    # ------------------------------------------------------------------
+    # ADT-aware helpers
+    # ------------------------------------------------------------------
+    def update_mask(self, adt: AbstractDataType) -> int:
+        """Bitmask of events labelled by update operations of ``adt``."""
+        mask = 0
+        for event in self.events:
+            if adt.is_update(event.invocation):
+                mask |= 1 << event.eid
+        return mask
+
+    def eids(self, mask: int) -> List[int]:
+        """Decode a bitmask into a sorted list of event ids."""
+        out = []
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            out.append(low.bit_length() - 1)
+        return out
+
+    def label(self, eid: int) -> Operation:
+        return self.events[eid].operation
+
+    def __repr__(self) -> str:
+        rows: Dict[Optional[int], List[str]] = {}
+        for event in self.events:
+            rows.setdefault(event.process, []).append(repr(event.operation))
+        body = "; ".join(
+            f"p{p}: " + " ".join(ops) for p, ops in sorted(rows.items(), key=lambda kv: (kv[0] is None, kv[0]))
+        )
+        return f"<History |E|={len(self)} {body}>"
+
+
+def _topological_order(n: int, pred: List[int]) -> Optional[List[int]]:
+    """Topological order of events given direct-predecessor masks, or None
+    if cyclic."""
+    indeg = [bin(pred[e]).count("1") for e in range(n)]
+    stack = [e for e in range(n) if indeg[e] == 0]
+    succ: List[List[int]] = [[] for _ in range(n)]
+    for e in range(n):
+        mask = pred[e]
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            succ[low.bit_length() - 1].append(e)
+    order = []
+    while stack:
+        e = stack.pop()
+        order.append(e)
+        for s in succ[e]:
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                stack.append(s)
+    if len(order) != n:
+        return None
+    return order

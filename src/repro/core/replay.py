@@ -1,0 +1,103 @@
+"""Sequential specification membership — replaying words on a transducer.
+
+The sequential specification ``L(T)`` (Def. 2) is the set of finite or
+infinite sequences of (possibly hidden) operations that label a path of the
+transducer from ``q0``.  Because ``delta`` and ``lambda`` are total, a
+finite word ``u`` belongs to ``L(T)`` iff replaying it from ``q0`` matches
+every *visible* output; hidden operations only apply their side effect.
+
+This module is the single place where words are checked, so every criterion
+checker agrees on what "conforms to the sequential specification" means.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from .adt import AbstractDataType, State
+from .operations import HIDDEN, Operation
+
+
+def replay(
+    adt: AbstractDataType,
+    word: Iterable[Operation],
+    state: Optional[State] = None,
+) -> Tuple[bool, State]:
+    """Replay ``word`` from ``state`` (default ``q0``).
+
+    Returns ``(accepted, final_state)``.  ``accepted`` is False as soon as a
+    non-hidden operation's recorded output differs from ``lambda`` at that
+    point; the returned state is then the state reached *before* the
+    offending operation.
+    """
+    if state is None:
+        state = adt.initial_state()
+    for operation in word:
+        invocation = operation.invocation
+        if operation.output is not HIDDEN:
+            produced = adt.output(state, invocation)
+            if produced != operation.output:
+                return False, state
+        state = adt.transition(state, invocation)
+    return True, state
+
+
+def accepts(adt: AbstractDataType, word: Iterable[Operation]) -> bool:
+    """``word in L(T)`` for a finite word (Def. 2)."""
+    ok, _ = replay(adt, word)
+    return ok
+
+
+def first_violation(
+    adt: AbstractDataType, word: Sequence[Operation]
+) -> Optional[int]:
+    """Index of the first operation whose output contradicts ``L(T)``.
+
+    Returns ``None`` when the word is admissible.  Useful for error
+    messages and for the prefix-closure property used by Prop. 2.
+    """
+    state = adt.initial_state()
+    for index, operation in enumerate(word):
+        if operation.output is not HIDDEN:
+            if adt.output(state, operation.invocation) != operation.output:
+                return index
+        state = adt.transition(state, operation.invocation)
+    return None
+
+
+def outputs_of(adt: AbstractDataType, word: Sequence[Operation]) -> List[Any]:
+    """The outputs ``lambda`` would produce along ``word`` (ignoring the
+    recorded ones).  Handy to *construct* admissible sequential histories."""
+    state = adt.initial_state()
+    produced = []
+    for operation in word:
+        produced.append(adt.output(state, operation.invocation))
+        state = adt.transition(state, operation.invocation)
+    return produced
+
+
+def seal(adt: AbstractDataType, word: Sequence[Operation]) -> List[Operation]:
+    """Replace every visible output in ``word`` by the specification's own
+    output, yielding a word guaranteed to be in ``L(T)``.
+
+    Hidden operations stay hidden.  This implements the textbook way of
+    producing members of ``L(T)`` for tests and generators.
+    """
+    state = adt.initial_state()
+    sealed = []
+    for operation in word:
+        if operation.output is HIDDEN:
+            sealed.append(operation)
+        else:
+            sealed.append(Operation(operation.invocation, adt.output(state, operation.invocation)))
+        state = adt.transition(state, operation.invocation)
+    return sealed
+
+
+def state_after(adt: AbstractDataType, word: Iterable[Operation]) -> State:
+    """State reached after applying the side effects of ``word`` (outputs
+    are not checked)."""
+    state = adt.initial_state()
+    for operation in word:
+        state = adt.transition(state, operation.invocation)
+    return state

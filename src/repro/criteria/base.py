@@ -1,0 +1,69 @@
+"""Consistency criteria: common result type and registry.
+
+A consistency criterion (Sec. 2.3) is a function ``C`` mapping an ADT ``T``
+to a set of admissible histories ``C(T)``; we expose each criterion as a
+predicate ``check_X(history, adt) -> CheckResult``.  Results carry a
+*certificate* when the predicate holds (the causal order, the chosen
+linearisations, …) so that independent verification and debugging are
+possible, and a human-readable *reason* when it does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from ..core.adt import AbstractDataType
+from ..core.history import History
+
+
+@dataclass
+class CheckResult:
+    """Outcome of a consistency check."""
+
+    criterion: str
+    ok: bool
+    certificate: Optional[Any] = None
+    reason: str = ""
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __repr__(self) -> str:
+        verdict = "OK" if self.ok else "VIOLATED"
+        extra = f" ({self.reason})" if self.reason and not self.ok else ""
+        return f"<{self.criterion}: {verdict}{extra}>"
+
+
+Checker = Callable[..., CheckResult]
+
+#: Registry of criterion name -> checker predicate, populated by the
+#: criterion modules at import time (see :mod:`repro.criteria.registry`).
+CRITERIA: Dict[str, Checker] = {}
+
+
+def register(name: str) -> Callable[[Checker], Checker]:
+    """Class-level decorator registering a checker under ``name``."""
+
+    def wrap(fn: Checker) -> Checker:
+        CRITERIA[name] = fn
+        return fn
+
+    return wrap
+
+
+def check(history: History, adt: AbstractDataType, criterion: str, **kwargs: Any) -> CheckResult:
+    """Dispatch to a registered criterion checker by name.
+
+    >>> check(h, WindowStream(2), "CC")      # doctest: +SKIP
+    """
+    # Import lazily so `base` has no circular dependency on the checkers.
+    from . import registry as _registry  # noqa: F401
+
+    try:
+        fn = CRITERIA[criterion.upper()]
+    except KeyError:
+        known = ", ".join(sorted(CRITERIA))
+        raise KeyError(f"unknown criterion {criterion!r}; known: {known}") from None
+    return fn(history, adt, **kwargs)

@@ -1,0 +1,43 @@
+"""Causal consistency (Def. 9).
+
+``H ∈ CC(T)`` iff there is a causal order ``→`` such that every event of
+every process explains a linearisation of its causal past containing the
+outputs of its *own process's* events: ``∀p ∈ P_H, ∀e ∈ p,
+lin((H→).π(⌊e⌋, p)) ∩ L(T) ≠ ∅``.
+
+CC strengthens both pipelined consistency and weak causal consistency
+(Prop. 2 / Fig. 1) and coincides with causal memory [2] on registers when
+all written values are distinct (Props. 3–4, see
+:mod:`repro.criteria.causal_memory`).
+"""
+
+from __future__ import annotations
+
+from ..core.adt import AbstractDataType
+from ..core.history import History
+from .base import CheckResult, register
+from .causal_search import search_causal_order
+
+
+@register("CC")
+def check_causal(
+    history: History, adt: AbstractDataType, max_nodes: int = 200_000
+) -> CheckResult:
+    """Decide ``H ∈ CC(T)`` by causal-order search."""
+    certificate, stats = search_causal_order(history, adt, "CC", max_nodes=max_nodes)
+    result_stats = {
+        "families": stats.families_explored,
+        "event_checks": stats.event_checks,
+        "lin_nodes": stats.lin_nodes,
+    }
+    if certificate is None:
+        return CheckResult(
+            "CC",
+            False,
+            reason=(
+                "no causal order lets every process explain its causal past "
+                "together with its own outputs"
+            ),
+            stats=result_stats,
+        )
+    return CheckResult("CC", True, certificate=certificate, stats=result_stats)

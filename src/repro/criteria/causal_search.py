@@ -1,0 +1,431 @@
+"""Search for causal orders — the decision procedure behind WCC/CC/CCv.
+
+The three causal criteria of the paper quantify existentially over a causal
+order (Def. 7): a partial order containing the program order in which every
+event has a cofinite future.  On *finite* histories cofiniteness is vacuous,
+so the checkers must decide, exactly::
+
+    WCC (Def. 8):  ∃ → ⊇ |->  s.t. ∀e:        lin((H→).π(⌊e⌋, {e})) ∩ L(T) ≠ ∅
+    CC  (Def. 9):  ∃ → ⊇ |->  s.t. ∀p ∀e∈p:   lin((H→).π(⌊e⌋, p))  ∩ L(T) ≠ ∅
+    CCv (Def. 12): ∃ → ⊇ |->, ∃ total ≤ ⊇ →  s.t. ∀e: lin((H≤).π(⌊e⌋, {e})) ∩ L(T) ≠ ∅
+
+Reduction (proved below): w.l.o.g. the causal order is the transitive
+closure of ``|-> ∪ A`` where every extra edge in ``A`` starts at an *update*
+event.  Indeed, let ``→`` witness the criterion and define ``A = {(u, e) :
+u update, u → e}`` and ``→' = TC(|-> ∪ A)``.  Then ``→' ⊆ →`` (so every
+→-compatible linearisation is →'-compatible) while each causal past keeps
+exactly the same update events (every update of ``⌊e⌋`` is re-inserted by an
+``A`` edge), and the replayed side effects of a past are exactly its
+updates, hidden pure queries being no-ops of the transducer.  Hence ``→'``
+witnesses the criterion too.
+
+Consequently a witness is fully described by the *family of update pasts*
+``past[e] ⊆ U`` (the update events causally before ``e``), subject to:
+
+  (K1) program-order seeding: updates po-before ``e`` are in ``past[e]``;
+  (K2) monotonicity: ``e' |-> e`` implies ``past[e'] ⊆ past[e]``;
+  (K3) closure: ``u ∈ past[e]`` implies ``past[u] ⊆ past[e]``;
+  (K4) antisymmetry/irreflexivity of the induced update order
+       ``u ⊏ u' ⟺ u ∈ past[u']``;
+  (K5, CCv only) ``⊏`` is contained in the chosen total update order.
+
+The checker performs a failure-driven monotone search over such families:
+start from the minimal closed family, check every event with the memoised
+linearisation engine, and branch by adding one candidate update to the past
+of a failing event.  The search is complete because (a) per-event checks
+are monotone in the *other* rows — shrinking someone else's past or the
+induced order only removes constraints — so an event failing under the
+current family has a strictly larger past in any witnessing family
+extending it, and (b) every legal single-update extension is branched on.
+Visited families are memoised so exhaustion (the NO answer) terminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..core.adt import AbstractDataType
+from ..core.history import History
+from ..core.operations import HIDDEN
+from ..util.bitset import bits
+from ..util.orders import topological_orders, restrict, transitive_closure
+from .engine import LinItem, LinearizationProblem, replay_fixed_order
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """The causal-order search exceeded its node budget.
+
+    Raised instead of returning a wrong answer; enlarge ``max_nodes`` or
+    shrink the history.  Litmus-scale histories stay far below the default
+    budget.
+    """
+
+
+@dataclass
+class CausalCertificate:
+    """A checkable witness that a history satisfies WCC/CC/CCv.
+
+    ``past`` maps each event to the tuple of update events in its causal
+    past; ``update_order`` lists the pairs of the induced strict order on
+    updates; ``total_update_order`` is the common total order of causal
+    convergence (None for WCC/CC); ``linearizations`` maps each checked
+    event (or ``(chain_index, event)`` for CC) to the linearisation of its
+    causal past found by the engine.
+    """
+
+    mode: str
+    update_eids: Tuple[int, ...]
+    past: Dict[int, Tuple[int, ...]]
+    update_order: Tuple[Tuple[int, int], ...]
+    total_update_order: Optional[Tuple[int, ...]]
+    linearizations: Dict[object, Tuple[int, ...]]
+
+
+@dataclass
+class SearchStats:
+    families_explored: int = 0
+    event_checks: int = 0
+    lin_nodes: int = 0
+    total_orders_tried: int = 0
+
+
+class CausalSearch:
+    """One search instance per (history, adt, mode)."""
+
+    def __init__(
+        self,
+        history: History,
+        adt: AbstractDataType,
+        mode: str,
+        max_nodes: int = 200_000,
+        max_total_orders: int = 50_000,
+        seed_semantic: bool = True,
+    ) -> None:
+        if mode not in ("WCC", "CC", "CCV"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.history = history
+        self.adt = adt
+        self.mode = mode
+        self.max_nodes = max_nodes
+        self.max_total_orders = max_total_orders
+        self.seed_semantic = seed_semantic
+        self.stats = SearchStats()
+
+        self.n = len(history)
+        self.updates: List[int] = [
+            e.eid for e in history if adt.is_update(e.invocation)
+        ]
+        self.m = len(self.updates)
+        self.upos = {eid: i for i, eid in enumerate(self.updates)}
+        # update positions in the strict po-past of each event
+        self.po_upast: List[int] = []
+        for e in range(self.n):
+            mask = 0
+            for pe in bits(history.past_mask(e)):
+                if pe in self.upos:
+                    mask |= 1 << self.upos[pe]
+            self.po_upast.append(mask)
+        # strict po order among updates, as position masks (for CCv)
+        self.upd_po = [self.po_upast[u] for u in self.updates]
+        # chains for CC mode
+        self.chains = history.processes() if mode == "CC" else ()
+        # (chain_idx, eid) units to check
+        if mode == "CC":
+            self.units: List[Tuple[int, int]] = [
+                (ci, e) for ci, chain in enumerate(self.chains) for e in chain
+            ]
+        else:
+            self.units = [(-1, e) for e in range(self.n)]
+        # memoisation: constraint-key -> (ok, linearisation)
+        self._event_memo: Dict[object, Tuple[bool, Optional[Tuple[int, ...]]]] = {}
+        self._visited: Set[Tuple[int, ...]] = set()
+        self._total_rank: Optional[List[int]] = None  # CCv only
+        self._last_lin: Optional[Tuple[int, ...]] = None
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(self) -> Optional[CausalCertificate]:
+        if self.mode == "CCV":
+            count = 0
+            for order in topological_orders(
+                transitive_closure(self.upd_po), limit=self.max_total_orders
+            ):
+                count += 1
+                self.stats.total_orders_tried = count
+                rank = [0] * self.m
+                for r, pos in enumerate(order):
+                    rank[pos] = r
+                self._total_rank = rank
+                self._event_memo.clear()
+                self._visited.clear()
+                family = self._initial_family()
+                if family is not None:
+                    result = self._dfs(family)
+                    if result is not None:
+                        return self._certificate(result, order)
+            if count >= self.max_total_orders:
+                raise SearchBudgetExceeded(
+                    f"more than {self.max_total_orders} total update orders"
+                )
+            return None
+        family = self._initial_family()
+        if family is None:
+            return None
+        result = self._dfs(family)
+        if result is None:
+            return None
+        return self._certificate(result, None)
+
+    # ------------------------------------------------------------------
+    # Family handling
+    # ------------------------------------------------------------------
+    def _semantic_seed_mask(self) -> List[int]:
+        """Update-position masks of *mandatory* semantic explanations.
+
+        An update that is the unique possible explanation of a query's
+        output must belong to the query's causal past under every causal
+        order, so seeding it skips failure-driven iterations.  Soundness:
+        the seeded family is contained in every witnessing family, which
+        is exactly the invariant the search's completeness argument needs.
+        Falls back to empty seeds for ADTs without a dependency analysis.
+        """
+        cached = getattr(self, "_seed_cache", None)
+        if cached is not None:
+            return cached
+        seeds = [0] * self.n
+        try:
+            from .dependencies import mandatory_edges
+
+            for source, target in mandatory_edges(self.history, self.adt):
+                if source in self.upos and source != target:
+                    seeds[target] |= 1 << self.upos[source]
+        except TypeError:
+            pass  # unsupported ADT family: no seeding
+        self._seed_cache = seeds
+        return seeds
+
+    def _initial_family(self) -> Optional[List[int]]:
+        family = list(self.po_upast)
+        if self.seed_semantic:
+            for e, seed in enumerate(self._semantic_seed_mask()):
+                family[e] |= seed
+        return self._propagate(family)
+
+    def _propagate(self, family: List[int]) -> Optional[List[int]]:
+        """Close the family under K1-K5; None when a constraint fails."""
+        history = self.history
+        changed = True
+        while changed:
+            changed = False
+            for e in range(self.n):
+                mask = family[e]
+                # K2: inherit the past of every strict po-predecessor
+                for p in bits(history.past_mask(e)):
+                    mask |= family[p]
+                # K1 is part of the seed and preserved; K3: close under the
+                # induced update order (the update rows themselves)
+                extra = 0
+                for pu in bits(mask):
+                    extra |= family[self.updates[pu]]
+                mask |= extra
+                if mask != family[e]:
+                    family[e] = mask
+                    changed = True
+        # K4: irreflexivity + antisymmetry of the induced update order
+        for pu, u in enumerate(self.updates):
+            row = family[u]
+            if row & (1 << pu):
+                return None
+            for pv in bits(row):
+                if family[self.updates[pv]] & (1 << pu):
+                    return None
+        # K5: containment in the total order (CCv)
+        if self._total_rank is not None:
+            rank = self._total_rank
+            for pu, u in enumerate(self.updates):
+                for pv in bits(family[u]):
+                    if rank[pv] > rank[pu]:
+                        return None
+        return family
+
+    def _dfs(self, family: List[int]) -> Optional[List[int]]:
+        key = tuple(family)
+        if key in self._visited:
+            return None
+        self._visited.add(key)
+        self.stats.families_explored += 1
+        if self.stats.families_explored > self.max_nodes:
+            raise SearchBudgetExceeded(
+                f"explored more than {self.max_nodes} causal-past families"
+            )
+        failing: Optional[Tuple[int, int]] = None
+        for unit in self.units:
+            if not self._check_unit(unit, family):
+                failing = unit
+                break
+        if failing is None:
+            return family
+        _, e = failing
+        # branch: add one update to the failing event's past
+        candidates = [
+            pu
+            for pu in range(self.m)
+            if not (family[e] & (1 << pu)) and self.updates[pu] != e
+        ]
+        for pu in candidates:
+            child = list(family)
+            child[e] |= 1 << pu
+            closed = self._propagate(child)
+            if closed is None:
+                continue
+            result = self._dfs(closed)
+            if result is not None:
+                return result
+        return None
+
+    # ------------------------------------------------------------------
+    # Per-event checks
+    # ------------------------------------------------------------------
+    def _unit_key(self, unit: Tuple[int, int], family: List[int]) -> object:
+        chain_idx, e = unit
+        row = family[e]
+        if self.mode == "CC":
+            prefix = self._prefix_of(unit)
+            rows_sig = tuple(family[q] for q in prefix)
+            return (chain_idx, e, row, rows_sig, self._order_sig(row, family))
+        if self.mode == "CCV":
+            return (e, row)
+        return (e, row, self._order_sig(row, family))
+
+    def _prefix_of(self, unit: Tuple[int, int]) -> Tuple[int, ...]:
+        chain_idx, e = unit
+        if self.mode != "CC":
+            return ()
+        chain = self.chains[chain_idx]
+        return chain[: chain.index(e)]
+
+    def _check_unit(self, unit: Tuple[int, int], family: List[int]) -> bool:
+        memo_key = self._unit_key(unit, family)
+        cached = self._event_memo.get(memo_key)
+        if cached is not None:
+            return cached[0]
+        self.stats.event_checks += 1
+        _, e = unit
+        ok = self._run_check(e, self._prefix_of(unit), family)
+        self._event_memo[memo_key] = (ok, self._last_lin if ok else None)
+        return ok
+
+    def _order_sig(self, row: int, family: List[int]) -> Tuple[int, ...]:
+        """Induced update order restricted to ``row`` (for memo keys)."""
+        return tuple(family[self.updates[pu]] & row for pu in bits(row))
+
+    def _run_check(self, e: int, prefix: Sequence[int], family: List[int]) -> bool:
+        history = self.history
+        adt = self.adt
+        event = history.event(e)
+        row = family[e]
+
+        if self.mode == "CCV":
+            rank = self._total_rank
+            assert rank is not None
+            ordered = sorted(bits(row), key=lambda pu: rank[pu])
+            items = [
+                LinItem(self.updates[pu], history.event(self.updates[pu]).invocation)
+                for pu in ordered
+            ]
+            items.append(
+                LinItem(e, event.invocation, event.output, check=not event.hidden)
+            )
+            ok, _ = replay_fixed_order(adt, items)
+            if ok:
+                self._last_lin = tuple(item.key for item in items)
+            return ok
+
+        # WCC / CC: memoised linearisation search over the causal past
+        kept: List[int] = [self.updates[pu] for pu in bits(row)]
+        visible: Set[int] = {e}
+        if self.mode == "CC":
+            for q in prefix:
+                visible.add(q)
+                if q not in self.upos:  # updates of the prefix are already kept
+                    kept.append(q)
+        kept = [x for x in kept if x != e]
+        kept.append(e)
+        index = {eid: i for i, eid in enumerate(kept)}
+        items = []
+        for eid in kept:
+            ev = history.event(eid)
+            show = eid in visible and not ev.hidden
+            items.append(LinItem(eid, ev.invocation, ev.output, check=show))
+        pred_masks = []
+        e_bit_all = (1 << len(kept)) - 1
+        for i, eid in enumerate(kept):
+            if eid == e:
+                # e is the maximum of its causal past
+                pred_masks.append(e_bit_all & ~(1 << i))
+                continue
+            mask = 0
+            # program order among kept events
+            for p in bits(history.past_mask(eid)):
+                j = index.get(p)
+                if j is not None:
+                    mask |= 1 << j
+            # induced causal edges: u -> eid for updates u in past[eid]
+            for pu in bits(family[eid]):
+                j = index.get(self.updates[pu])
+                if j is not None:
+                    mask |= 1 << j
+            pred_masks.append(mask)
+        problem = LinearizationProblem(adt, items, pred_masks)
+        solution = problem.solve()
+        self.stats.lin_nodes += problem.nodes_visited
+        if solution is None:
+            return False
+        self._last_lin = tuple(solution)
+        return True
+
+    # ------------------------------------------------------------------
+    def _certificate(
+        self, family: List[int], order: Optional[List[int]]
+    ) -> CausalCertificate:
+        past = {
+            e: tuple(self.updates[pu] for pu in bits(family[e]))
+            for e in range(self.n)
+        }
+        pairs = []
+        for pu, u in enumerate(self.updates):
+            for pv in bits(family[u]):
+                pairs.append((self.updates[pv], u))
+        total = (
+            tuple(self.updates[pos] for pos in order) if order is not None else None
+        )
+        # collect the linearisations found for every unit under the final
+        # family (each unit was just checked, so its memo entry exists)
+        lins: Dict[object, Tuple[int, ...]] = {}
+        for unit in self.units:
+            cached = self._event_memo.get(self._unit_key(unit, family))
+            if cached and cached[1] is not None:
+                chain_idx, e = unit
+                lins[(chain_idx, e) if self.mode == "CC" else e] = cached[1]
+        return CausalCertificate(
+            mode=self.mode,
+            update_eids=tuple(self.updates),
+            past=past,
+            update_order=tuple(sorted(pairs)),
+            total_update_order=total,
+            linearizations=lins,
+        )
+
+
+def search_causal_order(
+    history: History,
+    adt: AbstractDataType,
+    mode: str,
+    max_nodes: int = 200_000,
+) -> Tuple[Optional[CausalCertificate], SearchStats]:
+    """Decide WCC/CC/CCv membership; returns (certificate-or-None, stats)."""
+    search = CausalSearch(history, adt, mode.upper(), max_nodes=max_nodes)
+    certificate = search.run()
+    return certificate, search.stats

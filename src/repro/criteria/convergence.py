@@ -1,0 +1,37 @@
+"""Causal convergence (Def. 12).
+
+``H ∈ CCv(T)`` iff there are a causal order ``→`` and a *total* order ``≤``
+containing it such that every event explains the (unique) linearisation of
+its causal past ordered by ``≤``.  Updates are thus totally ordered and two
+operations with the same causal past read the same state — the combination
+of weak causal consistency and eventual consistency (Sec. 5).
+"""
+
+from __future__ import annotations
+
+from ..core.adt import AbstractDataType
+from ..core.history import History
+from .base import CheckResult, register
+from .causal_search import search_causal_order
+
+
+@register("CCV")
+def check_convergence(
+    history: History, adt: AbstractDataType, max_nodes: int = 200_000
+) -> CheckResult:
+    """Decide ``H ∈ CCv(T)``: enumerate total update orders extending the
+    program order, then search causal pasts as for WCC."""
+    certificate, stats = search_causal_order(history, adt, "CCV", max_nodes=max_nodes)
+    result_stats = {
+        "families": stats.families_explored,
+        "event_checks": stats.event_checks,
+        "total_orders": stats.total_orders_tried,
+    }
+    if certificate is None:
+        return CheckResult(
+            "CCV",
+            False,
+            reason="no total order on updates explains every causal past",
+            stats=result_stats,
+        )
+    return CheckResult("CCV", True, certificate=certificate, stats=result_stats)

@@ -1,0 +1,171 @@
+"""Semantic dependency analysis — "which update explains this output?".
+
+The figures of the paper draw dashed arrows for semantic causal relations
+("a read value is preceded by the corresponding write operation, a popped
+value needs to be pushed first").  This module reconstructs those arrows
+from a history:
+
+- for every query output, the *candidate* updates that could explain it
+  (per ADT family: memory reads, window-stream reads, queue pops/heads);
+- edges are *mandatory* when the candidate is unique — those must belong
+  to every causal order witnessing WCC/CC/CCv.
+
+Uses: pretty-printing litmus figures (``render_dependencies``), seeding /
+cross-checking the causal search, and teaching material (the examples call
+it to show why a history fails).  The analysis is *sound but not
+complete*: it only emits arrows the semantics force; checkers never rely
+on it for correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..adts.memory import MemoryADT
+from ..adts.queue import FifoQueue, SplitQueue
+from ..adts.window_stream import WindowStream, WindowStreamArray
+from ..core.adt import AbstractDataType
+from ..core.history import History
+from ..core.operations import BOTTOM
+
+
+@dataclass(frozen=True)
+class Dependency:
+    """A semantic arrow: ``source`` (an update) explains part of
+    ``target``'s output.  ``mandatory`` when no other update could."""
+
+    source: int
+    target: int
+    label: str
+    mandatory: bool
+
+
+def _window_value_deps(
+    history: History, target: int, values: Sequence[Any], default: Any,
+    writers_of,
+) -> List[Dependency]:
+    deps: List[Dependency] = []
+    for value in values:
+        if value == default:
+            continue
+        writers = writers_of(value)
+        for writer in writers:
+            deps.append(
+                Dependency(
+                    source=writer,
+                    target=target,
+                    label=f"read value {value!r}",
+                    mandatory=len(writers) == 1,
+                )
+            )
+    return deps
+
+
+def semantic_dependencies(
+    history: History, adt: AbstractDataType
+) -> List[Dependency]:
+    """The dashed arrows of Fig. 3 for the supported ADT families."""
+    deps: List[Dependency] = []
+    if isinstance(adt, MemoryADT):
+        for event in history:
+            register = adt.read_target(event.invocation)
+            if register is None or event.hidden or event.output == adt.default:
+                continue
+            writers = [
+                other.eid
+                for other in history
+                if adt.write_target(other.invocation) == (register, event.output)
+            ]
+            for writer in writers:
+                deps.append(
+                    Dependency(
+                        writer,
+                        event.eid,
+                        f"r({register})={event.output!r}",
+                        mandatory=len(writers) == 1,
+                    )
+                )
+        return deps
+    if isinstance(adt, WindowStream):
+        for event in history:
+            if event.invocation.method != "r" or event.hidden:
+                continue
+            def writers_of(value):
+                return [
+                    other.eid
+                    for other in history
+                    if other.invocation.method == "w"
+                    and other.invocation.args[0] == value
+                ]
+            deps.extend(
+                _window_value_deps(
+                    history, event.eid, event.output, adt.default, writers_of
+                )
+            )
+        return deps
+    if isinstance(adt, WindowStreamArray):
+        for event in history:
+            if event.invocation.method != "r" or event.hidden:
+                continue
+            stream = event.invocation.args[0]
+            def writers_of(value, stream=stream):
+                return [
+                    other.eid
+                    for other in history
+                    if other.invocation.method == "w"
+                    and other.invocation.args == (stream, value)
+                ]
+            deps.extend(
+                _window_value_deps(
+                    history, event.eid, event.output, adt.default, writers_of
+                )
+            )
+        return deps
+    if isinstance(adt, (FifoQueue, SplitQueue)):
+        reads = ("pop", "hd")
+        for event in history:
+            if event.invocation.method not in reads or event.hidden:
+                continue
+            if event.output is BOTTOM:
+                continue
+            pushers = [
+                other.eid
+                for other in history
+                if other.invocation.method == "push"
+                and other.invocation.args[0] == event.output
+            ]
+            for pusher in pushers:
+                deps.append(
+                    Dependency(
+                        pusher,
+                        event.eid,
+                        f"{event.invocation.method}={event.output!r}",
+                        mandatory=len(pushers) == 1,
+                    )
+                )
+        return deps
+    raise TypeError(
+        f"no semantic dependency analysis for {type(adt).__name__}"
+    )
+
+
+def mandatory_edges(history: History, adt: AbstractDataType) -> List[Tuple[int, int]]:
+    """The forced dashed arrows (unique explanations only)."""
+    return [
+        (d.source, d.target)
+        for d in semantic_dependencies(history, adt)
+        if d.mandatory and d.source != d.target
+    ]
+
+
+def render_dependencies(history: History, adt: AbstractDataType) -> str:
+    """Human-readable dump of the semantic arrows of a history."""
+    lines = []
+    for dep in semantic_dependencies(history, adt):
+        arrow = "-->" if dep.mandatory else "-?>"
+        lines.append(
+            f"  {history.event(dep.source).operation!r} {arrow} "
+            f"{history.event(dep.target).operation!r}   ({dep.label})"
+        )
+    return "\n".join(lines) if lines else "  (no semantic dependencies)"

@@ -1,0 +1,212 @@
+"""Linearisation search engine.
+
+Every criterion of the paper reduces to questions of the shape: *does some
+linearisation of this partially-ordered set of (possibly hidden) operations
+belong to ``L(T)``?* (Defs. 5, 6, 8, 9, 11, 12).  This module implements
+that question once, as a memoised depth-first search over pairs
+``(consumed-event-set, abstract state)``:
+
+- the state space is pruned by remembering failed ``(set, state)`` pairs —
+  two different interleavings reaching the same state with the same events
+  consumed are equivalent for the rest of the search;
+- events that are hidden **and** have no side effect (hidden pure queries)
+  are dropped up-front: ``delta`` is total so they linearise anywhere.
+
+The search is exact: it returns a linearisation iff one exists.  Worst-case
+cost is ``O(2^m * |states|)`` for ``m`` kept events, which is the expected
+regime for litmus-sized histories (the paper's figures have at most 12
+events); the benchmark ``bench_checkers`` tracks how this scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.adt import AbstractDataType, State
+from ..core.operations import HIDDEN, Invocation
+from ..util.bitset import bits
+
+
+@dataclass(frozen=True)
+class LinItem:
+    """One event of a linearisation problem.
+
+    ``check`` is True when the recorded output must match ``lambda`` (a
+    visible operation), False when the event only contributes its side
+    effect (a hidden operation).
+    """
+
+    key: Any
+    invocation: Invocation
+    output: Any = HIDDEN
+    check: bool = False
+
+
+class LinearizationProblem:
+    """A finite poset of operations to interleave against an ADT."""
+
+    def __init__(
+        self,
+        adt: AbstractDataType,
+        items: Sequence[LinItem],
+        pred_masks: Sequence[int],
+    ) -> None:
+        if len(items) != len(pred_masks):
+            raise ValueError("one predecessor mask per item required")
+        self.adt = adt
+        self.items = list(items)
+        self.pred_masks = list(pred_masks)
+        self.nodes_visited = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        adt: AbstractDataType,
+        items: Sequence[LinItem],
+        precedes: Callable[[Any, Any], bool],
+    ) -> "LinearizationProblem":
+        """Build from a pairwise ``precedes(key_a, key_b)`` predicate."""
+        masks = []
+        for b_pos, b in enumerate(items):
+            mask = 0
+            for a_pos, a in enumerate(items):
+                if a_pos != b_pos and precedes(a.key, b.key):
+                    mask |= 1 << a_pos
+            masks.append(mask)
+        return cls(adt, items, masks)
+
+    # ------------------------------------------------------------------
+    def prune_noops(self) -> "LinearizationProblem":
+        """Drop hidden pure queries: they have no side effect and no output
+        to check, so they never constrain the search (but their ordering
+        constraints must be *bypassed*: predecessors of a dropped event are
+        inherited by its successors)."""
+        adt = self.adt
+        droppable = [
+            not item.check and not adt.is_update(item.invocation)
+            for item in self.items
+        ]
+        if not any(droppable):
+            return self
+        n = len(self.items)
+        # propagate predecessor masks through dropped events
+        masks = list(self.pred_masks)
+        changed = True
+        while changed:
+            changed = False
+            for e in range(n):
+                extra = 0
+                for p in bits(masks[e]):
+                    if droppable[p]:
+                        extra |= masks[p]
+                if extra & ~masks[e]:
+                    masks[e] |= extra
+                    changed = True
+        keep = [i for i in range(n) if not droppable[i]]
+        remap = {old: new for new, old in enumerate(keep)}
+        new_items = [self.items[i] for i in keep]
+        new_masks = []
+        for i in keep:
+            mask = 0
+            for p in bits(masks[i]):
+                if p in remap:
+                    mask |= 1 << remap[p]
+            new_masks.append(mask)
+        return LinearizationProblem(self.adt, new_items, new_masks)
+
+    # ------------------------------------------------------------------
+    def solve(self) -> Optional[List[Any]]:
+        """Return the keys of some admissible linearisation, or ``None``.
+
+        An admissible linearisation consumes every item, respects every
+        predecessor constraint, and replays in ``L(T)`` (checked outputs
+        must match ``lambda`` at their position).
+        """
+        pruned = self.prune_noops()
+        result = pruned._search()
+        self.nodes_visited = pruned.nodes_visited
+        if result is None:
+            return None
+        return [pruned.items[pos].key for pos in result]
+
+    def satisfiable(self) -> bool:
+        return self.solve() is not None
+
+    # ------------------------------------------------------------------
+    def _search(self) -> Optional[List[int]]:
+        adt = self.adt
+        items = self.items
+        pred = self.pred_masks
+        n = len(items)
+        full = (1 << n) - 1
+        failed: Set[Tuple[int, State]] = set()
+        initial = adt.initial_state()
+        self.nodes_visited = 0
+
+        # Iterative DFS with explicit stack to avoid recursion limits on
+        # larger histories.  Each frame: (consumed, state, next_pos, path).
+        path: List[int] = []
+        stack: List[Tuple[int, State, int]] = [(0, initial, 0)]
+        while stack:
+            consumed, state, pos = stack.pop()
+            if pos == 0:
+                self.nodes_visited += 1
+            # unwind path to match the depth of this frame
+            depth = consumed.bit_count()
+            del path[depth:]
+            if consumed == full:
+                return path
+            advanced = False
+            for candidate in range(pos, n):
+                bit = 1 << candidate
+                if consumed & bit:
+                    continue
+                if pred[candidate] & ~consumed:
+                    continue
+                item = items[candidate]
+                if item.check:
+                    if adt.output(state, item.invocation) != item.output:
+                        continue
+                nstate = adt.transition(state, item.invocation)
+                nconsumed = consumed | bit
+                if nconsumed != full and (nconsumed, nstate) in failed:
+                    continue
+                # re-push current frame to continue after this candidate
+                stack.append((consumed, state, candidate + 1))
+                stack.append((nconsumed, nstate, 0))
+                path.append(candidate)
+                advanced = True
+                break
+            if not advanced:
+                # every candidate from this (set, state) pair has been
+                # explored and failed: memoise the dead end
+                failed.add((consumed, state))
+        return None
+
+
+def find_linearization(
+    adt: AbstractDataType,
+    items: Sequence[LinItem],
+    pred_masks: Sequence[int],
+) -> Optional[List[Any]]:
+    """Functional façade over :class:`LinearizationProblem`."""
+    return LinearizationProblem(adt, items, pred_masks).solve()
+
+
+def replay_fixed_order(
+    adt: AbstractDataType,
+    items: Sequence[LinItem],
+) -> Tuple[bool, State]:
+    """Replay items in the given (already total) order.
+
+    Used by the causal-convergence checker, where the common total order
+    ``<=`` leaves a unique linearisation per causal past (Def. 12).
+    """
+    state = adt.initial_state()
+    for item in items:
+        if item.check and adt.output(state, item.invocation) != item.output:
+            return False, state
+        state = adt.transition(state, item.invocation)
+    return True, state

@@ -1,0 +1,31 @@
+"""Sequential consistency (Def. 5, Lamport [15]).
+
+``H`` is sequentially consistent with ``T`` iff ``lin(H) ∩ L(T) ≠ ∅``:
+some interleaving of all events that respects the program order replays on
+the transducer with every visible output correct.
+"""
+
+from __future__ import annotations
+
+from ..core.adt import AbstractDataType
+from ..core.history import History
+from .base import CheckResult, register
+from .engine import LinItem, LinearizationProblem
+
+
+@register("SC")
+def check_sequential(history: History, adt: AbstractDataType) -> CheckResult:
+    """Decide ``H ∈ SC(T)`` by memoised linearisation search."""
+    items = [
+        LinItem(e.eid, e.invocation, e.output, check=not e.hidden) for e in history
+    ]
+    pred = [history.past_mask(e.eid) for e in history]
+    problem = LinearizationProblem(adt, items, pred)
+    solution = problem.solve()
+    stats = {"lin_nodes": problem.nodes_visited}
+    if solution is None:
+        return CheckResult(
+            "SC", False, reason="no linearisation of the program order is in L(T)",
+            stats=stats,
+        )
+    return CheckResult("SC", True, certificate=tuple(solution), stats=stats)

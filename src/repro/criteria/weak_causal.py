@@ -1,0 +1,40 @@
+"""Weak causal consistency (Def. 8).
+
+``H ∈ WCC(T)`` iff there is a causal order ``→`` such that every event can
+explain its own return value by some linearisation of the *side effects* of
+its whole causal past: ``∀e, lin((H→).π(⌊e⌋, {e})) ∩ L(T) ≠ ∅``.
+
+WCC is the causal common denominator of the two branches of weak
+consistency (Fig. 1): it precludes seeing an answer without its question,
+but lets different processes order concurrent updates differently forever.
+"""
+
+from __future__ import annotations
+
+from ..core.adt import AbstractDataType
+from ..core.history import History
+from .base import CheckResult, register
+from .causal_search import search_causal_order
+
+
+@register("WCC")
+def check_weak_causal(
+    history: History, adt: AbstractDataType, max_nodes: int = 200_000
+) -> CheckResult:
+    """Decide ``H ∈ WCC(T)`` by causal-order search (see
+    :mod:`repro.criteria.causal_search` for the algorithm and its
+    completeness argument)."""
+    certificate, stats = search_causal_order(history, adt, "WCC", max_nodes=max_nodes)
+    result_stats = {
+        "families": stats.families_explored,
+        "event_checks": stats.event_checks,
+        "lin_nodes": stats.lin_nodes,
+    }
+    if certificate is None:
+        return CheckResult(
+            "WCC",
+            False,
+            reason="no causal order lets every event explain its causal past",
+            stats=result_stats,
+        )
+    return CheckResult("WCC", True, certificate=certificate, stats=result_stats)

@@ -1,0 +1,31 @@
+"""Litmus histories (Fig. 3) and random history generators."""
+
+from .extra import extra_litmus
+from .figures import (
+    Litmus,
+    all_litmus,
+    fig3a,
+    fig3b,
+    fig3c,
+    fig3d,
+    fig3e,
+    fig3f,
+    fig3g,
+    fig3h,
+    fig3i,
+)
+
+__all__ = [
+    "Litmus",
+    "extra_litmus",
+    "all_litmus",
+    "fig3a",
+    "fig3b",
+    "fig3c",
+    "fig3d",
+    "fig3e",
+    "fig3f",
+    "fig3g",
+    "fig3h",
+    "fig3i",
+]

@@ -1,0 +1,191 @@
+"""Conformance suite: curated litmus histories for the non-figure ADTs.
+
+The paper's Fig. 3 exercises window streams, queues and memory.  This
+module extends the style to the other data types the introduction names
+(counters, stacks, sets, collaborative documents), giving implementers of
+those objects the same discrete conformance target.  Every classification
+below is established by the exact checkers (``tests/test_litmus_extra``
+re-asserts each cell) and each history illustrates one phenomenon:
+
+- counters: lost updates are CCv-admissible (commutativity hides them);
+- stacks: crossing pops are plain SC (unlike queues!); double-popping the
+  same topmost element is not even weakly causally consistent;
+- grow-sets: monotone reads are forced by causality alone;
+- edit sequences: the paper's collaborative-editing motivation — CC
+  tolerates diverging insertion orders, CCv does not.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..adts.counter import Counter
+from ..adts.gset import GrowSet
+from ..adts.sequence import EditSequence
+from ..adts.stack import Stack
+from ..core.history import History
+from .figures import Litmus, _complete
+
+
+def counter_read_own() -> Litmus:
+    """Two incrementers that read only their own effect: SC impossible
+    (the second read would have to see both), all weaker criteria hold —
+    the counter version of Fig. 3a's first half."""
+    c = Counter()
+    history = History.from_processes(
+        [[c.inc(), c.read(1)], [c.inc(), c.read(1)]]
+    )
+    return Litmus(
+        key="X-C2",
+        title="Counter: own-inc reads",
+        adt=c,
+        history=history,
+        expected=_complete({"SC": False, "CC": True, "CCV": True, "PC": True}),
+    )
+
+
+def counter_lost_update() -> Litmus:
+    """Both ``fetch_inc`` return 0 — the classic lost update.  Causal
+    convergence admits it: the two operations are concurrent and each
+    output is evaluated on its own causal past.  (Consensus number of a
+    counter is 1: it cannot order concurrent increments.)"""
+    c = Counter()
+    history = History.from_processes([[c.fetch_inc(0)], [c.fetch_inc(0)]])
+    return Litmus(
+        key="X-C3",
+        title="Counter: lost update",
+        adt=c,
+        history=history,
+        expected=_complete({"SC": False, "CC": True, "CCV": True, "PC": True}),
+    )
+
+
+def counter_backwards_read() -> Litmus:
+    """Reading 1 then 0: the causal order is transitive, so the first
+    read's past cannot be forgotten — fails even WCC."""
+    c = Counter()
+    history = History.from_processes([[c.inc()], [c.read(1), c.read(0)]])
+    return Litmus(
+        key="X-C4",
+        title="Counter: backwards read",
+        adt=c,
+        history=history,
+        expected={"SC": False, "CC": False, "CCV": False, "PC": False, "WCC": False},
+    )
+
+
+def stack_crossing_pops() -> Litmus:
+    """Each process pushes then pops the *other's* value — sequentially
+    fine for a LIFO (push(1).push(2).pop/2.pop/1), while the analogous
+    queue history (Fig. 3f shape) is not: order sensitivity differs per
+    ADT, which is why criteria must be defined against the sequential
+    specification rather than per-operation."""
+    s = Stack()
+    history = History.from_processes(
+        [[s.push(1), s.pop(2)], [s.push(2), s.pop(1)]]
+    )
+    return Litmus(
+        key="X-S1",
+        title="Stack: crossing pops",
+        adt=s,
+        history=history,
+        expected=_complete({"SC": True}),
+    )
+
+
+def stack_double_pop_concurrent() -> Litmus:
+    """A concurrent helper pops the same element the owner popped —
+    CC-admissible exactly like the queue of Fig. 3f."""
+    s = Stack()
+    history = History.from_processes([[s.push(1), s.pop(1)], [s.pop(1)]])
+    return Litmus(
+        key="X-S2",
+        title="Stack: concurrent double pop",
+        adt=s,
+        history=history,
+        expected=_complete({"SC": False, "CC": True, "CCV": True, "PC": True}),
+    )
+
+
+def stack_double_pop_sequential() -> Litmus:
+    """One process pops 2 twice in a row: its second pop has the first in
+    its own past, so no causal order can explain it — not even WCC (the
+    in-process analogue of Fig. 3f is inconsistent)."""
+    s = Stack()
+    history = History.from_processes(
+        [[s.push(1), s.push(2)], [s.pop(2), s.pop(2)]]
+    )
+    return Litmus(
+        key="X-S5",
+        title="Stack: sequential double pop",
+        adt=s,
+        history=history,
+        expected={"SC": False, "CC": False, "CCV": False, "PC": False, "WCC": False},
+    )
+
+
+def gset_cross_contains() -> Litmus:
+    """Each process adds one element and sees the other's: SC."""
+    g = GrowSet()
+    history = History.from_processes(
+        [[g.add(1), g.contains(2, True)], [g.add(2), g.contains(1, True)]]
+    )
+    return Litmus(
+        key="X-G1",
+        title="GrowSet: cross contains",
+        adt=g,
+        history=history,
+        expected=_complete({"SC": True}),
+    )
+
+
+def gset_unlearn() -> Litmus:
+    """contains(1)=true then false: grow-only sets cannot unlearn; the
+    transitive causal past makes this fail every criterion."""
+    g = GrowSet()
+    history = History.from_processes(
+        [[g.add(1)], [g.contains(1, True), g.contains(1, False)]]
+    )
+    return Litmus(
+        key="X-G2",
+        title="GrowSet: unlearning",
+        adt=g,
+        history=history,
+        expected={"SC": False, "CC": False, "CCV": False, "PC": False, "WCC": False},
+    )
+
+
+def edit_diverging_inserts() -> Litmus:
+    """Two authors insert concurrently at position 0 and each reads their
+    own arrival order ('ab' vs 'ba'): causally consistent, *not*
+    convergent — the CCI-model scenario (Sec. 5) motivating CCv, where
+    the common total order forces one of the two documents."""
+    d = EditSequence()
+    history = History.from_processes(
+        [
+            [d.insert(0, "a"), d.read("ab")],
+            [d.insert(0, "b"), d.read("ba")],
+        ]
+    )
+    return Litmus(
+        key="X-E1",
+        title="EditSeq: diverging inserts",
+        adt=d,
+        history=history,
+        expected=_complete({"SC": False, "CC": True, "CCV": False, "PC": True}),
+    )
+
+
+def extra_litmus() -> Tuple[Litmus, ...]:
+    """The conformance suite, in stable order."""
+    return (
+        counter_read_own(),
+        counter_lost_update(),
+        counter_backwards_read(),
+        stack_crossing_pops(),
+        stack_double_pop_concurrent(),
+        stack_double_pop_sequential(),
+        gset_cross_contains(),
+        gset_unlearn(),
+        edit_diverging_inserts(),
+    )

@@ -1,0 +1,166 @@
+"""Random history generators for the hierarchy experiment (E1).
+
+Two sampling regimes, mixed by the experiment:
+
+- *plausible* histories: outputs are drawn from replays of random
+  interleaving prefixes, biasing towards histories that satisfy some
+  criteria (so the strict inclusions of Fig. 1 get positive witnesses);
+- *adversarial* histories: outputs drawn uniformly from a small value
+  universe, biasing towards inconsistent histories (negative rows).
+
+Algorithm-produced histories (guaranteed CC / CCv / PC / EC) come from
+:mod:`repro.analysis.harness` instead; combining the three sources gives
+the classification population used by ``bench_fig1_hierarchy``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..adts.memory import MemoryADT
+from ..adts.queue import FifoQueue
+from ..adts.window_stream import WindowStream
+from ..core.adt import AbstractDataType
+from ..core.history import History
+from ..core.operations import BOTTOM, HIDDEN, Invocation, Operation
+
+
+def _interleaving_prefix_state(
+    rng: random.Random,
+    adt: AbstractDataType,
+    updates: Sequence[Invocation],
+) -> Any:
+    """State after a random subset of ``updates`` in random order."""
+    chosen = [u for u in updates if rng.random() < 0.7]
+    rng.shuffle(chosen)
+    state = adt.initial_state()
+    for invocation in chosen:
+        state = adt.transition(state, invocation)
+    return state
+
+
+def random_window_history(
+    rng: random.Random,
+    processes: int = 2,
+    ops_per_process: int = 3,
+    k: int = 2,
+    values: Sequence[int] = (1, 2, 3),
+    plausible: float = 0.8,
+) -> Tuple[History, WindowStream]:
+    """A random W_k history (see module docstring for the regimes)."""
+    adt = WindowStream(k)
+    all_writes: List[Invocation] = []
+    plan: List[List[str]] = []
+    for _p in range(processes):
+        row_kinds = []
+        for _i in range(ops_per_process):
+            if rng.random() < 0.5:
+                invocation = Invocation("w", (rng.choice(list(values)),))
+                all_writes.append(invocation)
+                row_kinds.append(invocation)
+            else:
+                row_kinds.append("r")
+        plan.append(row_kinds)
+    rows: List[List[Operation]] = []
+    for row_kinds in plan:
+        row: List[Operation] = []
+        for kind in row_kinds:
+            if kind == "r":
+                if rng.random() < plausible:
+                    state = _interleaving_prefix_state(rng, adt, all_writes)
+                    row.append(Operation(Invocation("r"), state))
+                else:
+                    window = tuple(rng.choice([0] + list(values)) for _ in range(k))
+                    row.append(Operation(Invocation("r"), window))
+            else:
+                row.append(Operation(kind, BOTTOM))
+        rows.append(row)
+    return History.from_processes(rows), adt
+
+
+def random_queue_history(
+    rng: random.Random,
+    processes: int = 2,
+    ops_per_process: int = 3,
+    values: Sequence[int] = (1, 2, 3),
+    plausible: float = 0.8,
+) -> Tuple[History, FifoQueue]:
+    """A random FIFO-queue history mixing pushes and pops."""
+    adt = FifoQueue()
+    pushes: List[Invocation] = []
+    plan: List[List[Any]] = []
+    for _p in range(processes):
+        row = []
+        for _i in range(ops_per_process):
+            if rng.random() < 0.5:
+                invocation = Invocation("push", (rng.choice(list(values)),))
+                pushes.append(invocation)
+                row.append(invocation)
+            else:
+                row.append("pop")
+        plan.append(row)
+    rows: List[List[Operation]] = []
+    for row_plan in plan:
+        row = []
+        for kind in row_plan:
+            if kind == "pop":
+                if rng.random() < plausible:
+                    state = _interleaving_prefix_state(rng, adt, pushes)
+                    out = state[0] if state else BOTTOM
+                else:
+                    out = rng.choice(list(values) + [BOTTOM])
+                row.append(Operation(Invocation("pop"), out))
+            else:
+                row.append(Operation(kind, BOTTOM))
+        rows.append(row)
+    return History.from_processes(rows), adt
+
+
+def random_memory_history(
+    rng: random.Random,
+    processes: int = 2,
+    ops_per_process: int = 4,
+    registers: str = "ab",
+    distinct_values: bool = True,
+    plausible: float = 0.8,
+) -> Tuple[History, MemoryADT]:
+    """A random memory history; with ``distinct_values`` every written
+    value is unique (the hypothesis of Prop. 4 and of the session-guarantee
+    checkers)."""
+    adt = MemoryADT(registers)
+    counter = [0]
+
+    def fresh_value() -> int:
+        counter[0] += 1
+        return counter[0]
+
+    writes: List[Invocation] = []
+    plan: List[List[Any]] = []
+    for _p in range(processes):
+        row = []
+        for _i in range(ops_per_process):
+            if rng.random() < 0.5:
+                value = fresh_value() if distinct_values else rng.randrange(1, 4)
+                invocation = Invocation("w", (rng.choice(registers), value))
+                writes.append(invocation)
+                row.append(invocation)
+            else:
+                row.append(("r", rng.choice(registers)))
+        plan.append(row)
+    rows: List[List[Operation]] = []
+    for row_plan in plan:
+        row = []
+        for kind in row_plan:
+            if isinstance(kind, tuple):
+                _, reg = kind
+                if rng.random() < plausible:
+                    state = _interleaving_prefix_state(rng, adt, writes)
+                    out = state[adt.index[reg]]
+                else:
+                    out = rng.choice([0] + [w.args[1] for w in writes] or [0])
+                row.append(Operation(Invocation("r", (reg,)), out))
+            else:
+                row.append(Operation(kind, BOTTOM))
+        rows.append(row)
+    return History.from_processes(rows), adt

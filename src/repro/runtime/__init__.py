@@ -1,0 +1,32 @@
+"""Simulated wait-free asynchronous message-passing system (Sec. 6.1)."""
+
+from .broadcast import (
+    BroadcastService,
+    CausalBroadcast,
+    FifoBroadcast,
+    ReliableBroadcast,
+    TotalOrderBroadcast,
+)
+from .clocks import LamportClock, VectorClock
+from .network import DelayModel, Network, NetworkStats
+from .recorder import HistoryRecorder, OpRecord
+from .simulator import Simulator
+from .workload import Client, uniform_script
+
+__all__ = [
+    "BroadcastService",
+    "CausalBroadcast",
+    "FifoBroadcast",
+    "ReliableBroadcast",
+    "TotalOrderBroadcast",
+    "LamportClock",
+    "VectorClock",
+    "DelayModel",
+    "Network",
+    "NetworkStats",
+    "HistoryRecorder",
+    "OpRecord",
+    "Simulator",
+    "Client",
+    "uniform_script",
+]

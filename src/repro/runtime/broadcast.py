@@ -1,0 +1,306 @@
+"""Broadcast primitives over the asynchronous network (Sec. 6.1).
+
+The paper's algorithms assume a *reliable causal broadcast* [10]:
+
+- validity/integrity: delivered messages were broadcast;
+- agreement: if any process delivers ``m``, all non-faulty processes do;
+- local delivery: a broadcaster delivers its own message immediately;
+- causal order: if ``m`` was broadcast after delivering ``m'``, no process
+  delivers ``m`` before ``m'``.
+
+We provide the full lattice used by the algorithms and baselines:
+
+``ReliableBroadcast``
+    agreement via eager flooding (every first-seen message is relayed),
+    which tolerates the broadcaster crashing mid-send; no ordering.
+``FifoBroadcast``
+    adds per-sender FIFO order (sequence numbers) — the substrate of the
+    PRAM baseline.
+``CausalBroadcast``
+    adds vector-clock causal order — the substrate of Figs. 4 and 5.
+``TotalOrderBroadcast``
+    a sequencer-based total order.  *Not* wait-free: a broadcast is only
+    delivered after a round trip through the sequencer, which is exactly
+    why sequentially consistent objects cannot have latency independent of
+    the network (Sec. 1, [3, 16]); the latency experiment E6 measures it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from .clocks import VectorClock
+from .network import Network
+
+Handler = Callable[[int, Any], None]  # (origin pid, payload)
+
+
+class _Endpoint:
+    """Per-process endpoint of a broadcast service."""
+
+    def __init__(self, service: "BroadcastService", pid: int) -> None:
+        self.service = service
+        self.pid = pid
+
+    def broadcast(self, payload: Any) -> None:
+        self.service.broadcast(self.pid, payload)
+
+
+class BroadcastService:
+    """Base class: one instance per run, one endpoint per process."""
+
+    name = "broadcast"
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self.n = network.n
+        self.delivery_handlers: Dict[int, Handler] = {}
+        self.delivered_count = 0
+
+    def endpoint(self, pid: int, handler: Handler) -> _Endpoint:
+        """Register ``handler`` as process ``pid``'s deliver callback."""
+        self.delivery_handlers[pid] = handler
+        return _Endpoint(self, pid)
+
+    def broadcast(self, pid: int, payload: Any) -> None:
+        raise NotImplementedError
+
+    def _deliver(self, pid: int, origin: int, payload: Any) -> None:
+        if self.network.is_crashed(pid):
+            return
+        self.delivered_count += 1
+        handler = self.delivery_handlers.get(pid)
+        if handler is not None:
+            handler(origin, payload)
+
+
+class ReliableBroadcast(BroadcastService):
+    """Eager reliable broadcast (flooding).
+
+    Every process relays each message the first time it sees it, so a
+    message delivered anywhere reaches every non-faulty process even if
+    the broadcaster crashes mid-broadcast.  ``flood=False`` degrades to
+    best-effort direct sends (n-1 messages instead of O(n^2)); the fault
+    injection tests exercise the difference.
+    """
+
+    name = "reliable"
+
+    def __init__(self, network: Network, flood: bool = True) -> None:
+        super().__init__(network)
+        self.flood = flood
+        self._seen: List[Set[Tuple[int, int]]] = [set() for _ in range(self.n)]
+        self._next_id: List[int] = [0] * self.n
+        for pid in range(self.n):
+            network.attach(pid, self._make_receiver(pid))
+
+    def _make_receiver(self, pid: int) -> Callable[[int, Any], None]:
+        def receive(src: int, message: Any) -> None:
+            self._receive(pid, message)
+
+        return receive
+
+    def broadcast(self, pid: int, payload: Any) -> None:
+        if self.network.is_crashed(pid):
+            return
+        mid = (pid, self._next_id[pid])
+        self._next_id[pid] += 1
+        message = {"id": mid, "origin": pid, "payload": payload}
+        # immediate local delivery (Sec. 6.1, third bullet)
+        self._seen[pid].add(mid)
+        self._deliver(pid, pid, payload)
+        self._relay(pid, message)
+
+    def _relay(self, pid: int, message: Any) -> None:
+        for dst in range(self.n):
+            if dst != pid:
+                self.network.send(pid, dst, message)
+
+    def _receive(self, pid: int, message: Any) -> None:
+        mid = message["id"]
+        if mid in self._seen[pid]:
+            return
+        self._seen[pid].add(mid)
+        self._deliver(pid, message["origin"], message["payload"])
+        if self.flood:
+            self._relay(pid, message)
+
+
+class FifoBroadcast(ReliableBroadcast):
+    """Reliable broadcast + per-sender FIFO delivery order."""
+
+    name = "fifo"
+
+    def __init__(self, network: Network, flood: bool = True) -> None:
+        super().__init__(network, flood)
+        # next expected sequence number per (receiver, origin)
+        self._expected: List[List[int]] = [[0] * self.n for _ in range(self.n)]
+        self._pending: List[Dict[Tuple[int, int], Any]] = [
+            {} for _ in range(self.n)
+        ]
+
+    def broadcast(self, pid: int, payload: Any) -> None:
+        if self.network.is_crashed(pid):
+            return
+        mid = (pid, self._next_id[pid])
+        self._next_id[pid] += 1
+        message = {"id": mid, "origin": pid, "payload": payload}
+        self._seen[pid].add(mid)
+        self._fifo_accept(pid, message)
+        self._relay(pid, message)
+
+    def _receive(self, pid: int, message: Any) -> None:
+        mid = message["id"]
+        if mid in self._seen[pid]:
+            return
+        self._seen[pid].add(mid)
+        if self.flood:
+            self._relay(pid, message)
+        self._fifo_accept(pid, message)
+
+    def _fifo_accept(self, pid: int, message: Any) -> None:
+        origin, seq = message["id"]
+        self._pending[pid][(origin, seq)] = message
+        # deliver as many in-order messages as possible
+        while True:
+            nxt = self._expected[pid][origin]
+            key = (origin, nxt)
+            if key not in self._pending[pid]:
+                break
+            queued = self._pending[pid].pop(key)
+            self._expected[pid][origin] += 1
+            self._deliver(pid, origin, queued["payload"])
+
+
+class CausalBroadcast(ReliableBroadcast):
+    """Reliable broadcast + vector-clock causal delivery order.
+
+    A message is stamped with the broadcaster's delivery vector (after
+    counting the message itself); a receiver delays it until it has
+    delivered every causally preceding message.  Local delivery is
+    immediate, matching the paper's primitive.
+    """
+
+    name = "causal"
+
+    def __init__(self, network: Network, flood: bool = True) -> None:
+        super().__init__(network, flood)
+        self._vc: List[VectorClock] = [VectorClock(self.n) for _ in range(self.n)]
+        self._buffer: List[List[Any]] = [[] for _ in range(self.n)]
+
+    def broadcast(self, pid: int, payload: Any) -> None:
+        if self.network.is_crashed(pid):
+            return
+        mid = (pid, self._next_id[pid])
+        self._next_id[pid] += 1
+        vc = self._vc[pid]
+        vc.deliver(pid)  # local delivery counts first
+        message = {
+            "id": mid,
+            "origin": pid,
+            "payload": payload,
+            "stamp": vc.snapshot(),
+        }
+        self._seen[pid].add(mid)
+        self._deliver(pid, pid, payload)
+        self._relay(pid, message)
+
+    def _receive(self, pid: int, message: Any) -> None:
+        mid = message["id"]
+        if mid in self._seen[pid]:
+            return
+        self._seen[pid].add(mid)
+        if self.flood:
+            self._relay(pid, message)
+        self._buffer[pid].append(message)
+        self._drain(pid)
+
+    def _drain(self, pid: int) -> None:
+        vc = self._vc[pid]
+        progress = True
+        while progress:
+            progress = False
+            for message in list(self._buffer[pid]):
+                if vc.can_deliver(message["origin"], message["stamp"]):
+                    self._buffer[pid].remove(message)
+                    vc.deliver(message["origin"])
+                    self._deliver(pid, message["origin"], message["payload"])
+                    progress = True
+
+    def pending_messages(self, pid: int) -> int:
+        """Messages buffered awaiting causal predecessors (observability)."""
+        return len(self._buffer[pid])
+
+
+class TotalOrderBroadcast(BroadcastService):
+    """Sequencer-based total-order (atomic) broadcast.
+
+    Process 0 acts as the sequencer: every broadcast is unicast to it, it
+    assigns a global sequence number and reliably re-broadcasts; receivers
+    deliver strictly in sequence order.  A broadcaster therefore observes
+    its own message only after a full round trip — the communication-delay
+    dependence that the weak criteria avoid (experiment E6).
+
+    ``on_delivered_own`` callbacks let the SC object implementation block
+    an operation until its message comes back sequenced.
+    """
+
+    name = "total-order"
+
+    def __init__(self, network: Network, sequencer: int = 0) -> None:
+        super().__init__(network)
+        self.sequencer = sequencer
+        self._next_seq = 0
+        self._expected: List[int] = [0] * self.n
+        self._pending: List[Dict[int, Any]] = [{} for _ in range(self.n)]
+        self._next_local_id: List[int] = [0] * self.n
+        for pid in range(self.n):
+            network.attach(pid, self._make_receiver(pid))
+
+    def _make_receiver(self, pid: int) -> Callable[[int, Any], None]:
+        def receive(src: int, message: Any) -> None:
+            if message["kind"] == "to-seq":
+                self._sequence(pid, message)
+            else:
+                self._accept(pid, message)
+
+        return receive
+
+    def broadcast(self, pid: int, payload: Any) -> None:
+        if self.network.is_crashed(pid):
+            return
+        message = {
+            "kind": "to-seq",
+            "origin": pid,
+            "local_id": self._next_local_id[pid],
+            "payload": payload,
+        }
+        self._next_local_id[pid] += 1
+        if pid == self.sequencer:
+            self._sequence(pid, message)
+        else:
+            self.network.send(pid, self.sequencer, message)
+
+    def _sequence(self, pid: int, message: Any) -> None:
+        if pid != self.sequencer or self.network.is_crashed(pid):
+            return
+        sequenced = {
+            "kind": "sequenced",
+            "seq": self._next_seq,
+            "origin": message["origin"],
+            "local_id": message["local_id"],
+            "payload": message["payload"],
+        }
+        self._next_seq += 1
+        self._accept(pid, sequenced)
+        for dst in range(self.n):
+            if dst != pid:
+                self.network.send(pid, dst, sequenced)
+
+    def _accept(self, pid: int, message: Any) -> None:
+        self._pending[pid][message["seq"]] = message
+        while self._expected[pid] in self._pending[pid]:
+            queued = self._pending[pid].pop(self._expected[pid])
+            self._expected[pid] += 1
+            self._deliver(pid, queued["origin"], queued)

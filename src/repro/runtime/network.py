@@ -1,0 +1,222 @@
+"""Asynchronous reliable point-to-point network with crash-stop faults.
+
+Models the communication assumptions of Sec. 6.1: messages between correct
+processes are eventually delivered after an arbitrary finite delay; there
+is no global clock; processes may crash (stop executing).  Delay models
+are pluggable so the latency experiments (E6) can sweep them.
+
+This is the paper's only non-algorithmic dependency we *simulate* rather
+than deploy: a seeded pseudo-random delay preserves the relevant behaviour
+(asynchrony and unbounded skew) while making every run reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from .simulator import Simulator
+
+
+class DelayModel:
+    """Distribution of point-to-point message delays."""
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        raise NotImplementedError
+
+    # Named constructors ------------------------------------------------
+    @staticmethod
+    def constant(delay: float) -> "DelayModel":
+        return _Constant(delay)
+
+    @staticmethod
+    def uniform(low: float, high: float) -> "DelayModel":
+        return _Uniform(low, high)
+
+    @staticmethod
+    def exponential(mean: float, floor: float = 0.01) -> "DelayModel":
+        return _Exponential(mean, floor)
+
+    @staticmethod
+    def per_link(low: float, high: float, jitter: float = 0.1) -> "DelayModel":
+        """Heterogeneous topology: each directed link gets a base delay
+        drawn once (uniformly in [low, high]) and keeps it for the whole
+        run, plus a small multiplicative jitter per message.  Stable
+        fast/slow paths are what make reordering anomalies (FIFO vs
+        causal delivery) statistically visible."""
+        return _PerLink(low, high, jitter)
+
+
+@dataclass
+class _Constant(DelayModel):
+    delay: float
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        return self.delay
+
+    @property
+    def mean(self) -> float:
+        return self.delay
+
+
+@dataclass
+class _Uniform(DelayModel):
+    low: float
+    high: float
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        return rng.uniform(self.low, self.high)
+
+    @property
+    def mean(self) -> float:
+        return (self.low + self.high) / 2
+
+
+@dataclass
+class _Exponential(DelayModel):
+    mean_delay: float
+    floor: float
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        return self.floor + rng.expovariate(1.0 / self.mean_delay)
+
+    @property
+    def mean(self) -> float:
+        return self.floor + self.mean_delay
+
+
+class _PerLink(DelayModel):
+    def __init__(self, low: float, high: float, jitter: float) -> None:
+        self.low = low
+        self.high = high
+        self.jitter = jitter
+        self._base: Dict[Tuple[int, int], float] = {}
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        base = self._base.get((src, dst))
+        if base is None:
+            base = rng.uniform(self.low, self.high)
+            self._base[(src, dst)] = base
+        return base * (1.0 + rng.uniform(-self.jitter, self.jitter))
+
+    @property
+    def mean(self) -> float:
+        return (self.low + self.high) / 2
+
+
+@dataclass
+class NetworkStats:
+    sent: int = 0
+    delivered: int = 0
+    dropped_to_crashed: int = 0
+    lost: int = 0
+    total_delay: float = 0.0
+
+    @property
+    def mean_delay(self) -> float:
+        return self.total_delay / self.delivered if self.delivered else 0.0
+
+
+class Network:
+    """Reliable asynchronous unicast between ``n`` processes.
+
+    ``attach(pid, handler)`` registers the message handler of process
+    ``pid``; :meth:`send` schedules its invocation after a sampled delay.
+    Crashed processes neither send nor receive (crash-stop).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n: int,
+        delay: Optional[DelayModel] = None,
+        loss_rate: float = 0.0,
+    ) -> None:
+        if not (0.0 <= loss_rate < 1.0):
+            raise ValueError("loss rate must be in [0, 1)")
+        self.sim = sim
+        self.n = n
+        self.delay = delay or DelayModel.uniform(0.5, 1.5)
+        self.loss_rate = loss_rate
+        self.handlers: Dict[int, Callable[[int, Any], None]] = {}
+        self.crashed: Set[int] = set()
+        self.stats = NetworkStats()
+        # partition support (the CAP motivation of Sec. 1): while two
+        # processes are in different groups, messages between them are
+        # *held*, not lost — the network stays reliable-eventual
+        self._partition: Optional[List[Set[int]]] = None
+        self._held: List[tuple] = []
+
+    def attach(self, pid: int, handler: Callable[[int, Any], None]) -> None:
+        if not (0 <= pid < self.n):
+            raise ValueError(f"process id {pid} out of range")
+        self.handlers[pid] = handler
+
+    def crash(self, pid: int) -> None:
+        """Crash-stop ``pid``: it stops sending and receiving immediately."""
+        self.crashed.add(pid)
+
+    def is_crashed(self, pid: int) -> bool:
+        return pid in self.crashed
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+    def partition(self, *groups: Iterable[int]) -> None:
+        """Split the network into disjoint groups; cross-group messages
+        are held until :meth:`heal` (reliability is preserved: partitions
+        delay, they do not lose)."""
+        sets = [set(g) for g in groups]
+        seen: Set[int] = set()
+        for g in sets:
+            if g & seen:
+                raise ValueError("partition groups must be disjoint")
+            seen |= g
+        self._partition = sets
+
+    def heal(self) -> None:
+        """Remove the partition and release all held messages."""
+        self._partition = None
+        held, self._held = self._held, []
+        for src, dst, payload in held:
+            self.send(src, dst, payload)
+
+    def _separated(self, src: int, dst: int) -> bool:
+        if self._partition is None:
+            return False
+        group_of = {}
+        for i, group in enumerate(self._partition):
+            for pid in group:
+                group_of[pid] = i
+        # processes not mentioned in any group form an implicit last group
+        return group_of.get(src, -1) != group_of.get(dst, -1)
+
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, payload: Any) -> None:
+        """Asynchronously deliver ``payload`` from ``src`` to ``dst``."""
+        if src in self.crashed:
+            return
+        if self._separated(src, dst):
+            self._held.append((src, dst, payload))
+            return
+        self.stats.sent += 1
+        if self.loss_rate and self.sim.rng.random() < self.loss_rate:
+            # a lossy fair link: the message silently disappears (the
+            # paper's reliable-channel assumption is the loss_rate=0 case;
+            # gossip-style algorithms tolerate loss, op-based ones do not)
+            self.stats.lost += 1
+            return
+        delay = self.delay.sample(self.sim.rng, src, dst)
+
+        def deliver() -> None:
+            if dst in self.crashed:
+                self.stats.dropped_to_crashed += 1
+                return
+            self.stats.delivered += 1
+            self.stats.total_delay += delay
+            handler = self.handlers.get(dst)
+            if handler is not None:
+                handler(src, payload)
+
+        self.sim.schedule(delay, deliver)

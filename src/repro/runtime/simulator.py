@@ -1,0 +1,78 @@
+"""Discrete-event simulator — the asynchronous system substrate (Sec. 6.1).
+
+The paper's system model is a wait-free asynchronous message-passing
+system: ``n`` sequential processes, no bound on relative speeds or message
+delays, crash-stop failures.  We reproduce it as a deterministic
+discrete-event simulation: every run is a pure function of its seed, so
+model-checking tests can replay interesting schedules exactly.
+
+The simulator is a plain event heap; asynchrony comes from the random
+delays the :class:`~repro.runtime.network.Network` draws when scheduling
+deliveries, and from interleaving the clients' think times.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+
+@dataclass(order=True)
+class _Scheduled:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Simulator:
+    """A seeded discrete-event scheduler."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+        self.now: float = 0.0
+        self._heap: List[_Scheduled] = []
+        self._counter = itertools.count()
+        self.events_executed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> _Scheduled:
+        """Schedule ``callback`` to run ``delay`` time units from now.
+
+        Ties are broken by insertion order, keeping runs deterministic.
+        """
+        if delay < 0:
+            raise ValueError("cannot schedule in the past")
+        entry = _Scheduled(self.now + delay, next(self._counter), callback)
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def cancel(self, entry: _Scheduled) -> None:
+        entry.cancelled = True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 10_000_000,
+    ) -> None:
+        """Drain the event heap (optionally stopping at time ``until``)."""
+        while self._heap:
+            if self.events_executed >= max_events:
+                raise RuntimeError(f"simulation exceeded {max_events} events")
+            entry = self._heap[0]
+            if until is not None and entry.time > until:
+                break
+            heapq.heappop(self._heap)
+            if entry.cancelled:
+                continue
+            self.now = entry.time
+            self.events_executed += 1
+            entry.callback()
+        if until is not None and self.now < until:
+            self.now = until
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)

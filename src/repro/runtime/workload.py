@@ -1,0 +1,78 @@
+"""Closed-loop workload driver.
+
+Each client binds to one process of a replicated object and issues
+invocations one at a time: the next operation is scheduled a think-time
+after the previous one *completes*.  This models the paper's sequential
+processes and exposes the latency difference between wait-free algorithms
+(operations complete immediately; throughput is independent of network
+delay) and the sequencer-based SC baseline (operations block for a round
+trip) — experiment E6.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence
+
+from ..core.operations import Invocation
+from .simulator import Simulator
+
+
+class Client:
+    """Drives one process of a replicated object.
+
+    ``script`` is an iterable of :class:`Invocation`; ``think`` samples the
+    think time between an operation's completion and the next invocation.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pid: int,
+        invoke: Callable[[int, Invocation, Callable[[Any], None]], None],
+        script: Iterable[Invocation],
+        think: Callable[[random.Random], float] = lambda rng: rng.uniform(0.1, 1.0),
+        on_done: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.pid = pid
+        self.invoke = invoke
+        self.script: Iterator[Invocation] = iter(script)
+        self.think = think
+        self.on_done = on_done
+        self.completed = 0
+        self.active = False
+
+    def start(self, initial_delay: float = 0.0) -> None:
+        self.active = True
+        self.sim.schedule(initial_delay, self._next)
+
+    def stop(self) -> None:
+        self.active = False
+
+    def _next(self) -> None:
+        if not self.active:
+            return
+        try:
+            invocation = next(self.script)
+        except StopIteration:
+            self.active = False
+            if self.on_done is not None:
+                self.on_done(self.pid)
+            return
+        self.invoke(self.pid, invocation, self._completed)
+
+    def _completed(self, _output: Any) -> None:
+        self.completed += 1
+        if self.active:
+            self.sim.schedule(self.think(self.sim.rng), self._next)
+
+
+def uniform_script(
+    rng: random.Random,
+    length: int,
+    make_invocation: Callable[[random.Random, int], Invocation],
+) -> List[Invocation]:
+    """A pre-drawn random script (deterministic given the rng state)."""
+    return [make_invocation(rng, i) for i in range(length)]

@@ -1,0 +1,55 @@
+"""Bitmask helpers.
+
+Event sets and update sets are represented as Python integers (arbitrary
+precision), which keeps the checker inner loops allocation-free and makes
+set operations single opcodes.  These helpers are the only place that
+manipulates masks bit-by-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+
+def bits(mask: int) -> Iterator[int]:
+    """Iterate the set bit positions of ``mask`` in increasing order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def to_mask(positions: Iterable[int]) -> int:
+    """Build a mask with the given bit positions set."""
+    mask = 0
+    for p in positions:
+        mask |= 1 << p
+    return mask
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits."""
+    return mask.bit_count()
+
+
+def subsets(mask: int) -> Iterator[int]:
+    """Iterate all submasks of ``mask`` (including 0 and ``mask``)."""
+    sub = mask
+    while True:
+        yield sub
+        if sub == 0:
+            return
+        sub = (sub - 1) & mask
+
+
+def lowest(mask: int) -> int:
+    """Position of the lowest set bit (mask must be non-zero)."""
+    return (mask & -mask).bit_length() - 1
+
+
+def without(mask: int, position: int) -> int:
+    return mask & ~(1 << position)
+
+
+def as_list(mask: int) -> List[int]:
+    return list(bits(mask))

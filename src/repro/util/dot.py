@@ -1,0 +1,94 @@
+"""Graphviz DOT export: histories (with semantic arrows) and Fig. 1.
+
+The paper's figures are graphs; these helpers regenerate them in the
+figure's native format so they can be rendered with ``dot -Tpdf``:
+
+- :func:`history_dot` — a Fig. 3-style drawing: one row per process,
+  solid program-order edges, dashed semantic arrows (when the ADT has a
+  dependency analysis);
+- :func:`hierarchy_dot` — the Fig. 1 map of criteria.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.adt import AbstractDataType
+from ..core.history import History
+from ..util.bitset import bits
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', '\\"') + '"'
+
+
+def history_dot(
+    history: History,
+    adt: Optional[AbstractDataType] = None,
+    title: str = "history",
+) -> str:
+    """DOT rendering of a distributed history (Fig. 3 style)."""
+    lines = [
+        f"digraph {_quote(title)} {{",
+        "  rankdir=LR;",
+        "  node [shape=box, fontname=monospace];",
+    ]
+    by_process: dict = {}
+    for event in history:
+        by_process.setdefault(event.process, []).append(event.eid)
+    for process, eids in sorted(
+        by_process.items(), key=lambda kv: (kv[0] is None, kv[0])
+    ):
+        name = f"p{process}" if process is not None else "dag"
+        lines.append(f"  subgraph cluster_{name} {{")
+        lines.append(f"    label={_quote(name)};")
+        for eid in eids:
+            label = repr(history.event(eid).operation)
+            lines.append(f"    e{eid} [label={_quote(label)}];")
+        lines.append("  }")
+    # program order: immediate edges only (the Hasse diagram)
+    for eid in range(len(history)):
+        for pred in bits(history.ipred_mask(eid)):
+            lines.append(f"  e{pred} -> e{eid};")
+    # semantic arrows, dashed (best effort)
+    if adt is not None:
+        try:
+            from ..criteria.dependencies import semantic_dependencies
+
+            for dep in semantic_dependencies(history, adt):
+                style = "dashed" if dep.mandatory else "dotted"
+                lines.append(
+                    f"  e{dep.source} -> e{dep.target} "
+                    f"[style={style}, constraint=false, color=gray40];"
+                )
+        except TypeError:
+            pass
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def hierarchy_dot() -> str:
+    """DOT rendering of Fig. 1 (an arrow C1 -> C2 means C2 is stronger)."""
+    from ..criteria.hierarchy import DIRECT_EDGES
+
+    names = {
+        "SC": "Sequential\\nconsistency (SC)",
+        "CC": "Causal\\nconsistency (CC)",
+        "CCV": "Causal\\nconvergence (CCv)",
+        "PC": "Pipelined\\nconsistency (PC)",
+        "WCC": "Weak causal\\nconsistency (WCC)",
+        "EC": "Eventual\\nconsistency (EC)",
+    }
+    lines = [
+        'digraph "fig1" {',
+        "  rankdir=LR;",
+        "  node [shape=ellipse];",
+    ]
+    for key, label in names.items():
+        lines.append(f'  {key} [label="{label}"];')
+    for stronger, weakers in sorted(DIRECT_EDGES.items()):
+        for weaker in sorted(weakers):
+            # the paper draws arrows from weaker to stronger
+            lines.append(f"  {weaker} -> {stronger};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""Partial-order utilities: linear extensions and order enumeration.
+
+Used by the causal-consistency checkers: CCv (Def. 12) quantifies over
+*total* orders on update events extending the program order, and the
+generic search needs topological orders and transitive closures of small
+relations.  Elements are integers ``0..n-1`` and relations are lists of
+predecessor bitmasks (``pred[i]`` = mask of elements strictly before ``i``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from .bitset import bits
+
+
+def transitive_closure(pred: Sequence[int]) -> List[int]:
+    """Strict transitive closure of a relation given as predecessor masks.
+
+    Raises ``ValueError`` on a cycle (an element preceding itself).
+    """
+    n = len(pred)
+    closed = list(pred)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(n):
+            mask = closed[i]
+            extra = 0
+            for j in bits(mask):
+                extra |= closed[j]
+            if extra & ~mask:
+                closed[i] = mask | extra
+                changed = True
+    for i in range(n):
+        if closed[i] & (1 << i):
+            raise ValueError("relation is cyclic")
+    return closed
+
+
+def is_partial_order(pred: Sequence[int]) -> bool:
+    """True when the predecessor masks describe a strict partial order."""
+    try:
+        closed = transitive_closure(pred)
+    except ValueError:
+        return False
+    return all(closed[i] == pred[i] for i in range(len(pred)))
+
+
+def topological_orders(pred: Sequence[int], limit: Optional[int] = None) -> Iterator[List[int]]:
+    """Yield linear extensions of the strict partial order ``pred``.
+
+    ``pred`` must be transitively closed.  ``limit`` caps the number of
+    extensions yielded (``None`` = all of them).
+    """
+    n = len(pred)
+    full = (1 << n) - 1
+    count = 0
+
+    def rec(consumed: int, acc: List[int]) -> Iterator[List[int]]:
+        nonlocal count
+        if consumed == full:
+            yield list(acc)
+            return
+        for i in range(n):
+            bit = 1 << i
+            if consumed & bit:
+                continue
+            if pred[i] & ~consumed:
+                continue
+            acc.append(i)
+            yield from rec(consumed | bit, acc)
+            acc.pop()
+            if limit is not None and count >= limit:
+                return
+
+    for order in rec(0, []):
+        count += 1
+        yield order
+        if limit is not None and count >= limit:
+            return
+
+
+def one_topological_order(pred: Sequence[int]) -> List[int]:
+    """A single linear extension (Kahn's algorithm), or ValueError."""
+    n = len(pred)
+    remaining = set(range(n))
+    consumed = 0
+    order: List[int] = []
+    while remaining:
+        progress = False
+        for i in sorted(remaining):
+            if not (pred[i] & ~consumed):
+                order.append(i)
+                consumed |= 1 << i
+                remaining.remove(i)
+                progress = True
+                break
+        if not progress:
+            raise ValueError("relation is cyclic")
+    return order
+
+
+def count_linear_extensions(pred: Sequence[int], cap: int = 10**6) -> int:
+    """Count linear extensions (memoised over consumed-set masks)."""
+    n = len(pred)
+    full = (1 << n) - 1
+    memo = {full: 1}
+
+    def rec(consumed: int) -> int:
+        if consumed in memo:
+            return memo[consumed]
+        total = 0
+        for i in range(n):
+            bit = 1 << i
+            if consumed & bit or (pred[i] & ~consumed):
+                continue
+            total += rec(consumed | bit)
+            if total > cap:
+                break
+        memo[consumed] = total
+        return total
+
+    return rec(0)
+
+
+def restrict(pred: Sequence[int], keep: Sequence[int]) -> List[int]:
+    """Restrict a (closed) relation to ``keep``, renumbering to 0..k-1."""
+    index = {e: i for i, e in enumerate(keep)}
+    out = []
+    for e in keep:
+        mask = 0
+        for j in bits(pred[e]):
+            if j in index:
+                mask |= 1 << index[j]
+        out.append(mask)
+    return out

@@ -1,0 +1,70 @@
+"""Unit tests for the ADT transducer base class (Def. 1)."""
+
+import pytest
+
+from repro.adts import Counter, FifoQueue, Register, WindowStream
+from repro.core import InstrumentedADT, classify_by_search, inv
+
+
+class TestRun:
+    def test_run_produces_outputs(self):
+        w2 = WindowStream(2)
+        state, outputs = w2.run([inv("w", 1), inv("r"), inv("w", 2), inv("r")])
+        assert state == (1, 2)
+        assert outputs[1] == (0, 1)
+        assert outputs[3] == (1, 2)
+
+    def test_apply_returns_both_parts(self):
+        counter = Counter()
+        state, out = counter.apply(3, inv("fetch_inc"))
+        assert state == 4 and out == 3
+
+    def test_purity_classification(self):
+        q = FifoQueue()
+        assert q.is_pure_update(inv("push", 1))
+        assert not q.is_pure_update(inv("pop"))
+        assert not q.is_pure_query(inv("pop"))
+        w = WindowStream(2)
+        assert w.is_pure_query(inv("r"))
+        assert w.is_pure_update(inv("w", 5))
+
+
+class TestClassifyBySearch:
+    def test_window_stream_classification_confirmed(self):
+        w2 = WindowStream(2)
+        probes = [[inv("w", 1)], [inv("w", 1), inv("w", 2)]]
+        update, query = classify_by_search(w2, inv("w", 3), probes)
+        assert update is True
+        update, query = classify_by_search(w2, inv("r"), probes)
+        assert query is True
+
+    def test_pop_is_both(self):
+        q = FifoQueue()
+        probes = [[inv("push", 1)], [inv("push", 1), inv("push", 2)]]
+        update, query = classify_by_search(q, inv("pop"), probes)
+        assert update is True and query is True
+
+    def test_declared_matches_search_on_register(self):
+        reg = Register()
+        probes = [[inv("w", 7)]]
+        update, query = classify_by_search(reg, inv("w", 9), probes)
+        assert bool(update) == reg.is_update(inv("w", 9))
+        update, query = classify_by_search(reg, inv("r"), probes)
+        assert bool(query) == reg.is_query(inv("r"))
+
+
+class TestInstrumented:
+    def test_counts_transducer_calls(self):
+        w1 = InstrumentedADT(WindowStream(1))
+        state = w1.initial_state()
+        state = w1.transition(state, inv("w", 1))
+        w1.output(state, inv("r"))
+        assert w1.transitions == 1 and w1.outputs == 1
+        w1.reset_counters()
+        assert w1.transitions == 0 and w1.outputs == 0
+
+    def test_delegates_semantics(self):
+        inner = WindowStream(2)
+        wrapped = InstrumentedADT(inner)
+        assert wrapped.initial_state() == inner.initial_state()
+        assert wrapped.is_update(inv("w", 1)) and wrapped.is_query(inv("r"))

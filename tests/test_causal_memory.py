@@ -1,0 +1,93 @@
+"""Causal memory (Def. 11) and its relation to CC (Props. 3-4)."""
+
+import random
+
+import pytest
+
+from repro.adts import MemoryADT, WindowStream
+from repro.core import History
+from repro.criteria import check_causal, check_causal_memory
+from repro.litmus import fig3i
+from repro.litmus.generators import random_memory_history
+
+
+class TestCausalMemoryChecker:
+    def test_simple_cm_history(self):
+        mem = MemoryADT("ab")
+        h = History.from_processes(
+            [
+                [mem.write("a", 1), mem.read("b", 2)],
+                [mem.write("b", 2), mem.read("a", 1)],
+            ]
+        )
+        result = check_causal_memory(h, mem)
+        assert result.ok
+        binding = result.certificate["writes_into"]
+        assert len(binding) == 2  # both reads bound
+
+    def test_unwritten_value_rejected(self):
+        mem = MemoryADT("a")
+        h = History.from_processes([[mem.read("a", 42)]])
+        result = check_causal_memory(h, mem)
+        assert not result.ok
+        assert "never written" in result.reason
+
+    def test_default_reads_unbound(self):
+        mem = MemoryADT("a")
+        h = History.from_processes([[mem.read("a", 0), mem.write("a", 1)]])
+        result = check_causal_memory(h, mem)
+        assert result.ok
+        assert result.certificate["writes_into"] == {0: None}
+
+    def test_cyclic_writes_into_rejected(self):
+        """Each read can only bind to a write that doesn't create a causal
+        cycle; when every binding is cyclic, CM fails."""
+        mem = MemoryADT("ab")
+        h = History.from_processes(
+            [
+                [mem.read("a", 1), mem.write("b", 2)],
+                [mem.read("b", 2), mem.write("a", 1)],
+            ]
+        )
+        assert not check_causal_memory(h, mem).ok
+
+    def test_requires_memory_adt(self):
+        w2 = WindowStream(2)
+        h = History.from_processes([[w2.write(1)]])
+        with pytest.raises(TypeError):
+            check_causal_memory(h, w2)
+
+
+class TestPropositions3And4:
+    def test_fig3i_separates_cm_from_cc(self):
+        """Duplicate written values: CM admits the history, CC does not
+        (the writes-into order binds reads to the 'wrong' writes)."""
+        litmus = fig3i()
+        assert check_causal_memory(litmus.history, litmus.adt).ok
+        assert not check_causal(litmus.history, litmus.adt).ok
+
+    def test_cc_implies_cm_randomised(self):
+        """Prop. 3: CC(M_X) is contained in CM, on any memory history."""
+        rng = random.Random(7)
+        checked = 0
+        for _ in range(40):
+            h, mem = random_memory_history(
+                rng, processes=2, ops_per_process=3, distinct_values=False
+            )
+            if check_causal(h, mem).ok:
+                checked += 1
+                assert check_causal_memory(h, mem).ok
+        assert checked >= 3  # the generator produced CC histories to test
+
+    def test_cm_implies_cc_on_distinct_values(self):
+        """Prop. 4: with distinct written values, CM implies CC."""
+        rng = random.Random(11)
+        checked = 0
+        for _ in range(40):
+            h, mem = random_memory_history(
+                rng, processes=2, ops_per_process=3, distinct_values=True
+            )
+            if check_causal_memory(h, mem).ok:
+                checked += 1
+                assert check_causal(h, mem).ok
+        assert checked >= 3

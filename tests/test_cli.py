@@ -1,0 +1,91 @@
+"""CLI tests: every subcommand and the JSON history loader."""
+
+import json
+
+import pytest
+
+from repro.cli import load_history, main
+from repro.core.operations import BOTTOM, HIDDEN
+
+
+class TestLoadHistory:
+    def test_window_history(self):
+        spec = {
+            "adt": {"type": "window", "k": 2},
+            "processes": [
+                [
+                    {"method": "w", "args": [1]},
+                    {"method": "r", "output": [0, 1]},
+                ],
+                [{"method": "w", "args": [2]}],
+            ],
+            "criteria": ["sc", "cc"],
+        }
+        history, adt, criteria = load_history(spec)
+        assert len(history) == 3
+        assert criteria == ["SC", "CC"]
+        assert history.event(1).output == (0, 1)
+        assert history.event(0).output is BOTTOM  # pure update default
+
+    def test_memory_history(self):
+        spec = {
+            "adt": {"type": "memory", "registers": "xy"},
+            "processes": [
+                [
+                    {"method": "w", "args": ["x", 5]},
+                    {"method": "r", "args": ["x"], "output": 5},
+                ]
+            ],
+        }
+        history, adt, criteria = load_history(spec)
+        assert adt.name == "Memory[2]"
+        assert "WCC" in criteria
+
+    def test_hidden_outputs(self):
+        spec = {
+            "adt": {"type": "queue"},
+            "processes": [[{"method": "pop"}]],  # no output => hidden
+        }
+        history, _, _ = load_history(spec)
+        assert history.event(0).output is HIDDEN
+
+    def test_unknown_adt(self):
+        with pytest.raises(ValueError):
+            load_history({"adt": {"type": "blockchain"}, "processes": []})
+
+
+class TestCommands:
+    def test_litmus_command(self, capsys):
+        assert main(["litmus"]) == 0
+        out = capsys.readouterr().out
+        assert "3a" in out and "mismatches vs verified classification: 0" in out
+
+    def test_hierarchy_command(self, capsys):
+        assert main(["hierarchy", "--histories", "6", "--seed", "3"]) == 0
+        assert "inclusion violations : 0" in capsys.readouterr().out
+
+    def test_consensus_command(self, capsys):
+        assert main(["consensus", "--max-n", "3", "--max-k", "2", "--runs", "5"]) == 0
+        assert "agreement rate" in capsys.readouterr().out
+
+    def test_latency_command(self, capsys):
+        assert main(["latency", "--delays", "1", "4", "--ops", "3"]) == 0
+        assert "sequencer" in capsys.readouterr().out
+
+    def test_sessions_command(self, capsys):
+        assert main(["sessions", "--runs", "3", "--ops", "4"]) == 0
+        assert "RYW" in capsys.readouterr().out
+
+    def test_classify_command(self, tmp_path, capsys):
+        spec = {
+            "adt": {"type": "window", "k": 2},
+            "processes": [
+                [{"method": "w", "args": [1]}, {"method": "r", "output": [0, 1]}],
+                [{"method": "w", "args": [2]}, {"method": "r", "output": [1, 2]}],
+            ],
+        }
+        path = tmp_path / "history.json"
+        path.write_text(json.dumps(spec))
+        assert main(["classify", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "SC" in out and "yes" in out

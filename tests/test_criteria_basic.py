@@ -1,0 +1,113 @@
+"""Unit tests for the SC and PC checkers (Defs. 5 and 6)."""
+
+import pytest
+
+from repro.adts import FifoQueue, MemoryADT, WindowStream
+from repro.core import History
+from repro.criteria import check, check_pipelined, check_sequential
+
+
+class TestSequentialConsistency:
+    def test_fig3d_is_sc(self):
+        w2 = WindowStream(2)
+        h = History.from_processes(
+            [[w2.write(1), w2.read(0, 1)], [w2.write(2), w2.read(1, 2)]]
+        )
+        result = check_sequential(h, w2)
+        assert result.ok
+        # the certificate is a real linearisation of all events
+        assert sorted(result.certificate) == list(range(4))
+
+    def test_out_of_program_order_rejected(self):
+        w2 = WindowStream(2)
+        # single process reading a future value
+        h = History.from_processes([[w2.read(0, 7), w2.write(7)]])
+        assert not check_sequential(h, w2)
+
+    def test_queue_double_pop_not_sc(self):
+        q = FifoQueue()
+        h = History.from_processes(
+            [[q.push(1), q.pop(1)], [q.pop(1)]]
+        )
+        assert not check_sequential(h, q)
+
+    def test_empty_history_is_sc(self):
+        w2 = WindowStream(2)
+        h = History.from_processes([[]])
+        assert check_sequential(h, w2).ok
+
+    def test_sc_on_memory_interleaving(self):
+        mem = MemoryADT("ab")
+        h = History.from_processes(
+            [
+                [mem.write("a", 1), mem.read("b", 2)],
+                [mem.write("b", 2), mem.read("a", 1)],
+            ]
+        )
+        assert check_sequential(h, mem).ok
+
+    def test_classic_sc_but_not_linearizable_shape(self):
+        """SC permits reading stale values regardless of real time — both
+        processes read their own write before seeing the other."""
+        mem = MemoryADT("ab")
+        h = History.from_processes(
+            [
+                [mem.write("a", 1), mem.read("b", 0)],
+                [mem.write("b", 2), mem.read("a", 0)],
+            ]
+        )
+        # the Dekker/SB anomaly: NOT sequentially consistent
+        assert not check_sequential(h, mem).ok
+
+
+class TestPipelinedConsistency:
+    def test_fig3a_not_pc(self):
+        w2 = WindowStream(2)
+        h = History.from_processes(
+            [
+                [w2.write(1), w2.read(0, 1), w2.read(1, 2)],
+                [w2.write(2), w2.read(0, 2), w2.read(1, 2)],
+            ]
+        )
+        result = check_pipelined(h, w2)
+        assert not result.ok
+        assert "process" in result.reason
+
+    def test_pc_per_process_views_may_disagree(self):
+        """Both processes see the two writes in different orders — PC
+        holds although no single linearisation exists."""
+        w2 = WindowStream(2)
+        h = History.from_processes(
+            [
+                [w2.write(1), w2.read(2, 1)],
+                [w2.write(2), w2.read(1, 2)],
+            ]
+        )
+        assert check_pipelined(h, w2).ok
+        assert not check_sequential(h, w2).ok
+
+    def test_pc_respects_other_processes_write_order(self):
+        """PRAM: writes of one process must be seen in program order."""
+        mem = MemoryADT("ab")
+        h = History.from_processes(
+            [
+                [mem.write("a", 1), mem.write("b", 2)],
+                # p2 sees b=2 (the later write) then a=0 (missing the
+                # earlier one) — violates pipelined consistency
+                [mem.read("b", 2), mem.read("a", 0)],
+            ]
+        )
+        assert not check_pipelined(h, mem).ok
+
+    def test_pc_certificate_lists_chains(self):
+        w2 = WindowStream(2)
+        h = History.from_processes([[w2.write(1), w2.read(0, 1)]])
+        result = check_pipelined(h, w2)
+        assert result.ok and 0 in result.certificate
+
+    def test_dispatch_by_name(self):
+        w2 = WindowStream(2)
+        h = History.from_processes([[w2.write(1)]])
+        assert check(h, w2, "sc").ok and check(h, w2, "pc").ok
+        with pytest.raises(KeyError):
+            check(h, w2, "NOPE")

@@ -1,0 +1,45 @@
+"""DOT export tests."""
+
+from repro.adts import Counter
+from repro.litmus import fig3b, fig3f
+from repro.core import History
+from repro.util.dot import hierarchy_dot, history_dot
+
+
+class TestHistoryDot:
+    def test_contains_all_events_and_po_edges(self):
+        litmus = fig3f()
+        dot = history_dot(litmus.history, litmus.adt, title="fig3f")
+        for eid in range(len(litmus.history)):
+            assert f"e{eid} " in dot or f"e{eid} ->" in dot
+        assert "e0 -> e1;" in dot  # p0's program order
+        assert "digraph" in dot and dot.strip().endswith("}")
+
+    def test_semantic_arrows_dashed(self):
+        litmus = fig3b()
+        dot = history_dot(litmus.history, litmus.adt)
+        assert "style=dashed" in dot
+
+    def test_unsupported_adt_degrades_gracefully(self):
+        c = Counter()
+        h = History.from_processes([[c.inc(), c.read(1)]])
+        dot = history_dot(h, c)
+        assert "dashed" not in dot and "digraph" in dot
+
+    def test_quoting(self):
+        c = Counter()
+        h = History.from_processes([[c.inc()]])
+        dot = history_dot(h, None, title='my "history"')
+        assert '\\"history\\"' in dot
+
+
+class TestHierarchyDot:
+    def test_all_fig1_nodes_and_edges(self):
+        dot = hierarchy_dot()
+        for node in ("SC", "CC", "CCV", "PC", "WCC", "EC"):
+            assert node in dot
+        # arrows drawn weaker -> stronger as in the figure
+        assert "CC -> SC;" in dot
+        assert "EC -> CCV;" in dot
+        assert "PC -> CC;" in dot
+        assert "WCC -> CC;" in dot and "WCC -> CCV;" in dot

@@ -1,0 +1,102 @@
+"""Quiescent eventual consistency and update consistency checkers."""
+
+from repro.adts import Counter, MemoryADT, WindowStream
+from repro.core import History
+from repro.criteria import check_eventual, check_update_consistency
+from repro.criteria.eventual import default_stable_events
+
+
+class TestEventual:
+    def test_converged_reads_accepted(self):
+        w2 = WindowStream(2)
+        h = History.from_processes(
+            [
+                [w2.write(1), w2.read(1, 2)],
+                [w2.write(2), w2.read(1, 2)],
+            ]
+        )
+        assert check_eventual(h, w2, stable={1, 3}).ok
+
+    def test_diverged_reads_rejected(self):
+        w2 = WindowStream(2)
+        h = History.from_processes(
+            [
+                [w2.write(1), w2.read(1, 2)],
+                [w2.write(2), w2.read(2, 1)],
+            ]
+        )
+        result = check_eventual(h, w2, stable={1, 3})
+        assert not result.ok and "distinct values" in result.reason
+
+    def test_default_stable_events_are_final_pure_queries(self):
+        w2 = WindowStream(2)
+        h = History.from_processes(
+            [
+                [w2.write(1), w2.read(0, 1)],
+                [w2.write(2)],
+            ]
+        )
+        assert default_stable_events(h, w2) == {1}
+
+    def test_different_registers_may_hold_different_values(self):
+        mem = MemoryADT("ab")
+        h = History.from_processes(
+            [
+                [mem.write("a", 1), mem.read("a", 1)],
+                [mem.write("b", 2), mem.read("b", 2)],
+            ]
+        )
+        assert check_eventual(h, mem, stable={1, 3}).ok
+
+
+class TestUpdateConsistency:
+    def test_uc_needs_a_real_update_linearisation(self):
+        """EC only wants agreement; UC wants the agreed state to be the
+        result of some permutation of all updates (consistent with po)."""
+        w2 = WindowStream(2)
+        # both processes agree on the window (7, 7) — but only one w(7)
+        # happened, so no permutation of the updates explains it
+        h = History.from_processes(
+            [
+                [w2.write(7), w2.read(7, 7)],
+                [w2.read(7, 7)],
+            ]
+        )
+        assert check_eventual(h, w2, stable={1, 2}).ok
+        assert not check_update_consistency(h, w2, stable={1, 2}).ok
+
+    def test_uc_accepts_any_update_order(self):
+        w2 = WindowStream(2)
+        h = History.from_processes(
+            [
+                [w2.write(1), w2.read(2, 1)],
+                [w2.write(2), w2.read(2, 1)],
+            ]
+        )
+        result = check_update_consistency(h, w2, stable={1, 3})
+        assert result.ok
+        assert result.certificate["state"] == (2, 1)
+
+    def test_uc_respects_program_order_of_updates(self):
+        w2 = WindowStream(2)
+        # single process wrote 1 then 2: the converged state (2, 1) would
+        # need the reversed order, forbidden by the program order
+        h = History.from_processes(
+            [
+                [w2.write(1), w2.write(2), w2.read(2, 1)],
+                [w2.read(2, 1)],
+            ]
+        )
+        assert check_eventual(h, w2, stable={2, 3}).ok
+        assert not check_update_consistency(h, w2, stable={2, 3}).ok
+
+    def test_uc_on_commutative_counter(self):
+        c = Counter()
+        h = History.from_processes(
+            [
+                [c.inc(), c.read(3)],
+                [c.inc(), c.read(3)],
+                [c.inc(), c.read(3)],
+            ]
+        )
+        assert check_update_consistency(h, c, stable={1, 3, 5}).ok

@@ -1,0 +1,36 @@
+"""Smoke tests: every example script runs to completion and prints the
+headline it promises."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": "certificate independently verified",
+    "litmus_gallery.py": "mismatches vs verified classification: 0",
+    "message_forum.py": "anomaly-free by construction",
+    "collaborative_editing.py": "converged to the same document",
+    "consensus_window.py": "consensus number k",
+    "task_queue.py": "never loses a task",
+}
+
+
+@pytest.mark.parametrize("script", sorted(CASES))
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert CASES[script] in result.stdout
+
+
+def test_all_examples_covered():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == set(CASES), "new example scripts need smoke tests"

@@ -1,0 +1,70 @@
+"""Failure-diagnostics tests (`repro.criteria.explain`)."""
+
+from repro.adts import FifoQueue, MemoryADT, WindowStream
+from repro.core import History
+from repro.criteria.explain import Explanation, explain, locally_explicable
+from repro.litmus import fig3b, fig3d
+
+
+class TestLocalExplicability:
+    def test_value_never_written_is_inexplicable(self):
+        w2 = WindowStream(2)
+        h = History.from_processes([[w2.write(1), w2.read(0, 9)]])
+        assert not locally_explicable(h, w2, 1)
+
+    def test_reachable_window_is_explicable(self):
+        w2 = WindowStream(2)
+        h = History.from_processes(
+            [[w2.write(1), w2.read(2, 1)], [w2.write(2)]]
+        )
+        # (2,1) needs the order w(2).w(1): reachable, hence explicable
+        assert locally_explicable(h, w2, 1)
+
+    def test_hidden_events_trivially_explicable(self):
+        q = FifoQueue()
+        h = History.from_processes([[q.pop()]])
+        assert locally_explicable(h, q, 0)
+
+    def test_subset_choice_matters(self):
+        """(0,1) requires using w(1) but *not* w(2): subset search."""
+        w2 = WindowStream(2)
+        h = History.from_processes(
+            [[w2.write(1)], [w2.write(2)], [w2.read(0, 1)]]
+        )
+        assert locally_explicable(h, w2, 2)
+
+
+class TestExplain:
+    def test_satisfied_history_reports_ok(self):
+        litmus = fig3d()
+        report = explain(litmus.history, litmus.adt, "SC")
+        assert report.ok and "nothing to explain" in report.summary
+
+    def test_local_failure_reported(self):
+        w2 = WindowStream(2)
+        h = History.from_processes([[w2.write(1), w2.read(0, 9)]])
+        report = explain(h, w2, "WCC")
+        assert not report.ok
+        assert report.locally_inexplicable == [1]
+        assert "cannot be explained" in report.summary
+
+    def test_global_failure_shows_forced_chain(self):
+        """Fig. 3b: every event is locally fine, the assembly fails; the
+        report exhibits the forced chain the paper's prose describes
+        (w(1) -> r/(0,1) -> w(2) -> r/(2,1))."""
+        litmus = fig3b()
+        report = explain(litmus.history, litmus.adt, "WCC")
+        assert not report.ok
+        assert report.locally_inexplicable == []
+        assert "globally" in report.summary
+        assert report.mandatory_arrows
+        assert any(len(chain) >= 4 for chain in report.forced_chains)
+        text = report.render(litmus.history)
+        assert "forced causal chains" in text
+
+    def test_render_of_local_failure(self):
+        mem = MemoryADT("a")
+        h = History.from_processes([[mem.read("a", 42)]])
+        report = explain(h, mem, "CC")
+        text = report.render(h)
+        assert "no set of updates" in text

@@ -1,0 +1,103 @@
+"""Unit tests for distributed histories (Def. 4)."""
+
+import pytest
+
+from repro.adts import WindowStream
+from repro.core import History, op
+from repro.core.operations import BOTTOM
+
+
+def _w2_rows():
+    w2 = WindowStream(2)
+    return [
+        [w2.write(1), w2.read(0, 1)],
+        [w2.write(2), w2.read(1, 2)],
+    ], w2
+
+
+class TestFromProcesses:
+    def test_program_order_within_rows_only(self):
+        rows, _ = _w2_rows()
+        h = History.from_processes(rows)
+        assert len(h) == 4
+        assert h.po_lt(0, 1) and h.po_lt(2, 3)
+        assert not h.po_lt(0, 2) and not h.po_lt(1, 3)
+        assert h.concurrent(0, 2) and h.concurrent(1, 2)
+
+    def test_past_masks_are_strict(self):
+        rows, _ = _w2_rows()
+        h = History.from_processes(rows)
+        assert h.past_mask(0) == 0
+        assert h.past_mask(1) == 0b0001
+        assert h.past_mask(3) == 0b0100
+
+    def test_processes_are_the_rows(self):
+        rows, _ = _w2_rows()
+        h = History.from_processes(rows)
+        assert set(h.processes()) == {(0, 1), (2, 3)}
+
+    def test_event_metadata(self):
+        rows, _ = _w2_rows()
+        h = History.from_processes(rows)
+        assert h.event(2).process == 1
+        assert h.event(1).output == (0, 1)
+        assert h.event(0).output is BOTTOM
+
+
+class TestFromDag:
+    def test_fork_join_history(self):
+        # 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 (diamond)
+        ops = [op("w", 1), op("w", 2), op("w", 3), op("r", returns=(2, 3))]
+        h = History.from_dag(ops, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert h.po_lt(0, 3)  # transitive closure computed
+        assert h.concurrent(1, 2)
+        # maximal chains of a diamond: 0-1-3 and 0-2-3
+        assert set(h.processes()) == {(0, 1, 3), (0, 2, 3)}
+
+    def test_cycle_rejected(self):
+        ops = [op("w", 1), op("w", 2)]
+        with pytest.raises(ValueError):
+            History.from_dag(ops, [(0, 1), (1, 0)])
+
+    def test_edge_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            History.from_dag([op("w", 1)], [(0, 5)])
+
+    def test_redundant_edges_harmless(self):
+        ops = [op("w", 1), op("w", 2), op("w", 3)]
+        h1 = History.from_dag(ops, [(0, 1), (1, 2)])
+        h2 = History.from_dag(ops, [(0, 1), (1, 2), (0, 2)])
+        assert [h1.past_mask(e) for e in range(3)] == [
+            h2.past_mask(e) for e in range(3)
+        ]
+
+
+class TestOrderAccessors:
+    def test_succ_mask_inverse_of_past(self):
+        rows, _ = _w2_rows()
+        h = History.from_processes(rows)
+        for a in range(len(h)):
+            for b in range(len(h)):
+                assert bool(h.past_mask(b) & (1 << a)) == bool(
+                    h.succ_mask(a) & (1 << b)
+                )
+
+    def test_ipred_is_transitive_reduction(self):
+        ops = [op("w", 1), op("w", 2), op("w", 3)]
+        h = History.from_dag(ops, [(0, 1), (1, 2), (0, 2)])
+        assert h.ipred_mask(2) == 0b010  # only 1 is immediate
+
+    def test_update_mask(self):
+        rows, w2 = _w2_rows()
+        h = History.from_processes(rows)
+        assert h.update_mask(w2) == 0b0101
+
+    def test_eids_decoding(self):
+        rows, _ = _w2_rows()
+        h = History.from_processes(rows)
+        assert h.eids(0b1010) == [1, 3]
+
+    def test_repr_contains_rows(self):
+        rows, _ = _w2_rows()
+        text = repr(History.from_processes(rows))
+        assert "p0" in text and "p1" in text

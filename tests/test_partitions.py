@@ -1,0 +1,110 @@
+"""Network partitions and the CAP motivation (Sec. 1).
+
+The paper motivates weak criteria by the CAP theorem [9]: strong
+consistency cannot survive partitions.  We demonstrate on the simulated
+substrate: during a partition the wait-free causal algorithms keep
+serving both sides (availability), and causal convergence reconciles the
+sides after healing; the sequencer-based SC baseline leaves the minority
+side unable to complete a single operation.
+"""
+
+from repro.adts import WindowStreamArray
+from repro.algorithms import CCvWindowArray, CCWindowArray, ScSequencer
+from repro.core.operations import Invocation
+from repro.criteria import check
+from repro.runtime import DelayModel, HistoryRecorder, Network, Simulator
+
+
+def _sim(n=4, seed=0):
+    sim = Simulator(seed=seed)
+    net = Network(sim, n, delay=DelayModel.constant(1.0))
+    rec = HistoryRecorder(n)
+    return sim, net, rec
+
+
+class TestPartitionMechanics:
+    def test_cross_partition_messages_held_then_released(self):
+        sim, net, _ = _sim(2)
+        inbox = []
+        net.attach(1, lambda src, p: inbox.append((sim.now, p)))
+        net.partition({0}, {1})
+        net.send(0, 1, "during")
+        sim.run()
+        assert inbox == []  # held, not delivered, not lost
+        net.heal()
+        sim.run()
+        assert [p for _, p in inbox] == ["during"]
+
+    def test_same_side_unaffected(self):
+        sim, net, _ = _sim(3)
+        inbox = []
+        net.attach(1, lambda src, p: inbox.append(p))
+        net.partition({0, 1}, {2})
+        net.send(0, 1, "m")
+        sim.run()
+        assert inbox == ["m"]
+
+    def test_overlapping_groups_rejected(self):
+        _, net, _ = _sim(3)
+        try:
+            net.partition({0, 1}, {1, 2})
+        except ValueError:
+            return
+        raise AssertionError("overlapping partition groups accepted")
+
+
+class TestAvailabilityUnderPartition:
+    def test_ccv_both_sides_available_and_reconcile(self):
+        """Both sides keep writing during the partition; after healing all
+        replicas converge to the same window (AP system)."""
+        sim, net, rec = _sim(4, seed=3)
+        obj = CCvWindowArray(sim, net, rec, streams=1, k=2)
+        net.partition({0, 1}, {2, 3})
+        for pid in range(4):
+            out = obj.invoke(pid, Invocation("w", (0, 10 + pid)))
+        sim.run()
+        # each side only sees its own writes
+        assert obj.window(0, 0) == obj.window(1, 0)
+        assert obj.window(2, 0) == obj.window(3, 0)
+        assert obj.window(0, 0) != obj.window(2, 0)
+        net.heal()
+        sim.run()
+        windows = {obj.window(pid, 0) for pid in range(4)}
+        assert len(windows) == 1, windows
+
+    def test_cc_both_sides_available(self):
+        sim, net, rec = _sim(4, seed=4)
+        obj = CCWindowArray(sim, net, rec, streams=1, k=2)
+        net.partition({0, 1}, {2, 3})
+        for pid in range(4):
+            obj.invoke(pid, Invocation("w", (0, pid)))
+            obj.invoke(pid, Invocation("r", (0,)))
+        assert rec.count() == 8  # every operation completed instantly
+
+    def test_history_across_partition_still_causally_consistent(self):
+        sim, net, rec = _sim(4, seed=5)
+        obj = CCWindowArray(sim, net, rec, streams=1, k=2)
+        net.partition({0, 1}, {2, 3})
+        for pid in range(4):
+            obj.invoke(pid, Invocation("w", (0, pid + 1)))
+        sim.run()
+        net.heal()
+        sim.run()
+        for pid in range(4):
+            obj.invoke(pid, Invocation("r", (0,)))
+        adt = WindowStreamArray(1, 2)
+        assert check(rec.to_history(), adt, "CC").ok
+
+    def test_sc_minority_side_blocks(self):
+        """With the sequencer on one side, the other side's operations
+        cannot complete until the partition heals (CP system)."""
+        sim, net, rec = _sim(4, seed=6)
+        obj = ScSequencer(sim, net, rec, adt=WindowStreamArray(1, 2))
+        net.partition({0, 1}, {2, 3})  # sequencer is process 0
+        done = []
+        obj.invoke(2, Invocation("w", (0, 9)), lambda out: done.append(out))
+        sim.run()
+        assert done == []  # blocked across the partition
+        net.heal()
+        sim.run()
+        assert len(done) == 1  # completes once connectivity returns

@@ -1,0 +1,150 @@
+"""Executable versions of the paper's propositions (1, 2, 5) plus the
+search reduction, on randomized histories.
+
+Props. 3-4 (causal memory) live in ``test_causal_memory.py``; Props. 6-7
+(the algorithms) in ``test_algorithms.py``.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adts import WindowStream
+from repro.core import History
+from repro.core.operations import Operation
+from repro.criteria import check, classify
+from repro.criteria.hierarchy import check_classification_consistency
+from repro.litmus.generators import (
+    random_memory_history,
+    random_queue_history,
+    random_window_history,
+)
+
+GENERATORS = {
+    "window": random_window_history,
+    "queue": random_queue_history,
+    "memory": random_memory_history,
+}
+
+
+@pytest.mark.parametrize("family", sorted(GENERATORS))
+def test_hierarchy_inclusions_hold_on_random_histories(family):
+    """Fig. 1, empirically: no random history may satisfy a stronger
+    criterion while failing a weaker one."""
+    rng = random.Random(hash(family) & 0xFFFF)
+    for _ in range(25):
+        history, adt = GENERATORS[family](rng, processes=2, ops_per_process=3)
+        verdicts = {
+            crit: res.ok
+            for crit, res in classify(history, adt, ("SC", "CC", "CCV", "PC", "WCC")).items()
+        }
+        assert check_classification_consistency(verdicts) == [], (
+            history,
+            verdicts,
+        )
+
+
+class TestProposition1:
+    """WCC + totally ordered updates => SC."""
+
+    def test_single_writer_histories(self):
+        rng = random.Random(5)
+        tested = 0
+        for _ in range(30):
+            # all updates on one process: the program order makes them total
+            history, adt = random_window_history(
+                rng, processes=2, ops_per_process=3
+            )
+            updates = [e for e in history if adt.is_update(e.invocation)]
+            procs = {e.process for e in updates}
+            if len(procs) > 1:
+                continue
+            tested += 1
+            if check(history, adt, "WCC").ok:
+                assert check(history, adt, "SC").ok, history
+        assert tested >= 5
+
+    def test_handcrafted_instance(self):
+        w2 = WindowStream(2)
+        h = History.from_processes(
+            [
+                [w2.write(1), w2.write(2)],
+                [w2.read(1, 2)],
+            ]
+        )
+        assert check(h, w2, "WCC").ok
+        assert check(h, w2, "SC").ok
+
+
+class TestProposition2:
+    """CC implies PC (the per-event linearisations extend to each whole
+    process view)."""
+
+    @pytest.mark.parametrize("family", sorted(GENERATORS))
+    def test_cc_implies_pc(self, family):
+        rng = random.Random(hash(family) & 0xFFF)
+        witnessed = 0
+        for _ in range(25):
+            history, adt = GENERATORS[family](rng, processes=2, ops_per_process=3)
+            if check(history, adt, "CC").ok:
+                witnessed += 1
+                assert check(history, adt, "PC").ok, history
+        assert witnessed >= 2
+
+
+class TestProposition5:
+    """CCv with no update concurrent to a query => SC."""
+
+    def test_update_phase_then_query_phase(self):
+        rng = random.Random(9)
+        tested = 0
+        for _ in range(30):
+            # writers write, then (po-after via same process) read
+            w2 = WindowStream(2)
+            writes = [
+                [Operation(w2.write(rng.randrange(1, 5)).invocation, None)]
+                for _ in range(2)
+            ]
+            # build: p0 does all writes, p1 queries after reading... keep
+            # the structural condition by single-process histories
+            n_writes = rng.randrange(1, 4)
+            row = [w2.write(rng.randrange(1, 5)) for _ in range(n_writes)]
+            state = w2.initial_state()
+            for operation in row:
+                state = w2.transition(state, operation.invocation)
+            row.append(w2.read(*state))
+            h = History.from_processes([row])
+            tested += 1
+            assert check(h, w2, "CCV").ok
+            assert check(h, w2, "SC").ok
+        assert tested == 30
+
+    def test_ccv_without_concurrency_condition_can_fail_sc(self):
+        """Shows the concurrency hypothesis of Prop. 5 is necessary:
+        Fig. 3a is CCv but not SC (queries concurrent with updates)."""
+        from repro.litmus import fig3a
+
+        litmus = fig3a()
+        assert check(litmus.history, litmus.adt, "CCV").ok
+        assert not check(litmus.history, litmus.adt, "SC").ok
+
+
+class TestSearchReduction:
+    """The w.l.o.g. reduction of causal_search: checking is invariant
+    under restricting causal orders to update-rooted extra edges — we
+    validate it indirectly: every certificate verifies, and verification
+    rebuilds the order only from the pasts."""
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_positive_answers_always_carry_valid_certificates(self, seed):
+        from repro.criteria import verify_certificate
+
+        rng = random.Random(seed)
+        history, adt = random_window_history(rng, processes=2, ops_per_process=3)
+        for criterion in ("WCC", "CC", "CCV"):
+            result = check(history, adt, criterion)
+            if result.ok:
+                verify_certificate(history, adt, result.certificate)

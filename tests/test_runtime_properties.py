@@ -1,0 +1,125 @@
+"""Property-based tests on the runtime substrate (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.gossip_ccv import merge_windows
+from repro.runtime import (
+    DelayModel,
+    FifoBroadcast,
+    Network,
+    Simulator,
+    TotalOrderBroadcast,
+)
+
+
+def _cells(draw_values):
+    """Build window cells with unique stamps.
+
+    The system invariant (Fig. 5): a stamp ``(lamport, pid)`` identifies
+    one write, so the value is a function of the stamp — the generator
+    derives it deterministically, mirroring reality (otherwise the merge
+    would legitimately be order-sensitive on conflicting forgeries).
+    """
+    cells = []
+    seen = set()
+    for t, pid in draw_values:
+        stamp = (t, pid)
+        if stamp in seen:
+            continue
+        seen.add(stamp)
+        cells.append((t * 10 + pid, stamp))
+    return sorted(cells, key=lambda cell: cell[1])
+
+
+cell_lists = st.lists(
+    st.tuples(st.integers(1, 6), st.integers(0, 3)),
+    max_size=6,
+).map(_cells)
+
+
+class TestMergeLattice:
+    """merge_windows is a join-semilattice operation — the property that
+    makes the gossip algorithm converge (strong eventual consistency)."""
+
+    @given(cell_lists, st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_idempotent(self, a, k):
+        a = a[-k:]
+        assert merge_windows(a, a, k) == a
+
+    @given(cell_lists, cell_lists, st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_commutative(self, a, b, k):
+        assert merge_windows(a, b, k) == merge_windows(b, a, k)
+
+    @given(cell_lists, cell_lists, cell_lists, st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_associative(self, a, b, c, k):
+        left = merge_windows(merge_windows(a, b, k), c, k)
+        right = merge_windows(a, merge_windows(b, c, k), k)
+        assert left == right
+
+    @given(cell_lists, cell_lists, st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_result_sorted_and_bounded(self, a, b, k):
+        merged = merge_windows(a, b, k)
+        stamps = [cell[1] for cell in merged]
+        assert stamps == sorted(stamps)
+        assert len(merged) <= k
+
+
+class TestBroadcastProperties:
+    @given(st.integers(0, 10_000), st.integers(2, 4), st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_fifo_order_holds_under_any_schedule(self, seed, n, messages):
+        sim = Simulator(seed=seed)
+        net = Network(sim, n, delay=DelayModel.uniform(0.1, 20.0))
+        service = FifoBroadcast(net)
+        logs = [[] for _ in range(n)]
+        for pid in range(n):
+            service.endpoint(pid, lambda o, p, i=pid: logs[i].append((o, p)))
+        for i in range(messages):
+            service.broadcast(i % n, i)
+        sim.run()
+        for log in logs:
+            assert len(log) == messages
+            for sender in range(n):
+                from_sender = [p for o, p in log if o == sender]
+                assert from_sender == sorted(from_sender)
+
+    @given(st.integers(0, 10_000), st.integers(2, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_total_order_agrees_under_any_schedule(self, seed, n):
+        sim = Simulator(seed=seed)
+        net = Network(sim, n, delay=DelayModel.uniform(0.1, 20.0))
+        service = TotalOrderBroadcast(net)
+        logs = [[] for _ in range(n)]
+        for pid in range(n):
+            service.endpoint(
+                pid, lambda o, m, i=pid: logs[i].append(m["payload"])
+            )
+        for pid in range(n):
+            service.broadcast(pid, f"m{pid}")
+        sim.run()
+        assert all(log == logs[0] for log in logs)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_partition_heal_preserves_reliability(self, seed):
+        rng = random.Random(seed)
+        sim = Simulator(seed=seed)
+        net = Network(sim, 3, delay=DelayModel.uniform(0.1, 5.0))
+        inbox = []
+        net.attach(2, lambda src, p: inbox.append(p))
+        net.partition({0, 1}, {2})
+        sent = rng.randrange(1, 6)
+        for i in range(sent):
+            net.send(0, 2, i)
+        sim.run()
+        assert inbox == []
+        net.heal()
+        sim.run()
+        assert sorted(inbox) == list(range(sent))

@@ -1,0 +1,135 @@
+"""Session-guarantee checkers (Terry et al. [24]; Secs. 1 and 4)."""
+
+import pytest
+
+from repro.adts import MemoryADT
+from repro.core import History
+from repro.criteria import all_session_guarantees
+from repro.criteria.base import CRITERIA
+from repro.criteria.session import SessionAnalysis
+
+
+def _guarantees(h, mem):
+    return {k: v.ok for k, v in all_session_guarantees(h, mem).items()}
+
+
+class TestReadYourWrites:
+    def test_violation_reading_default_after_own_write(self):
+        mem = MemoryADT("a")
+        h = History.from_processes([[mem.write("a", 1), mem.read("a", 0)]])
+        assert not _guarantees(h, mem)["RYW"]
+
+    def test_overwrite_by_concurrent_write_is_fine(self):
+        mem = MemoryADT("a")
+        h = History.from_processes(
+            [
+                [mem.write("a", 1), mem.read("a", 2)],
+                [mem.write("a", 2)],
+            ]
+        )
+        assert _guarantees(h, mem)["RYW"]
+
+    def test_reading_strictly_older_value_violates(self):
+        mem = MemoryADT("a")
+        h = History.from_processes(
+            [
+                [mem.write("a", 1)],
+                # reads 1 (so w(1) hb-before w(2)), writes 2, reads back 1
+                [mem.read("a", 1), mem.write("a", 2), mem.read("a", 1)],
+            ]
+        )
+        assert not _guarantees(h, mem)["RYW"]
+
+
+class TestMonotonicReads:
+    def test_going_backwards_violates(self):
+        mem = MemoryADT("ab")
+        h = History.from_processes(
+            [
+                [mem.write("a", 1), mem.read("a", 1), mem.write("a", 2)],
+                # p1 reads the newer value then the older one
+                [mem.read("a", 2), mem.read("a", 1)],
+            ]
+        )
+        assert not _guarantees(h, mem)["MR"]
+
+    def test_forward_reads_fine(self):
+        mem = MemoryADT("a")
+        h = History.from_processes(
+            [
+                [mem.write("a", 1), mem.read("a", 1), mem.write("a", 2)],
+                [mem.read("a", 1), mem.read("a", 2)],
+            ]
+        )
+        assert _guarantees(h, mem)["MR"]
+
+
+class TestMonotonicWrites:
+    def test_seeing_second_write_without_first_violates(self):
+        mem = MemoryADT("ab")
+        h = History.from_processes(
+            [
+                [mem.write("a", 1), mem.write("b", 2)],
+                # sees b=2 but then a has never received a=1
+                [mem.read("b", 2), mem.read("a", 0)],
+            ]
+        )
+        assert not _guarantees(h, mem)["MW"]
+
+    def test_in_order_visibility_fine(self):
+        mem = MemoryADT("ab")
+        h = History.from_processes(
+            [
+                [mem.write("a", 1), mem.write("b", 2)],
+                [mem.read("b", 2), mem.read("a", 1)],
+            ]
+        )
+        assert _guarantees(h, mem)["MW"]
+
+
+class TestWritesFollowReads:
+    def test_answer_without_question_violates(self):
+        mem = MemoryADT("qa")
+        h = History.from_processes(
+            [
+                [mem.write("q", 1)],
+                [mem.read("q", 1), mem.write("a", 2)],   # answer after reading
+                [mem.read("a", 2), mem.read("q", 0)],    # answer w/o question
+            ]
+        )
+        assert not _guarantees(h, mem)["WFR"]
+
+    def test_causal_visibility_fine(self):
+        mem = MemoryADT("qa")
+        h = History.from_processes(
+            [
+                [mem.write("q", 1)],
+                [mem.read("q", 1), mem.write("a", 2)],
+                [mem.read("a", 2), mem.read("q", 1)],
+            ]
+        )
+        assert _guarantees(h, mem)["WFR"]
+
+
+class TestAnalysisMachinery:
+    def test_distinct_values_required(self):
+        mem = MemoryADT("a")
+        h = History.from_processes(
+            [[mem.write("a", 1)], [mem.write("a", 1)]]
+        )
+        with pytest.raises(ValueError):
+            SessionAnalysis(h, mem)
+
+    def test_registered_individually(self):
+        for name in ("RYW", "MR", "MW", "WFR"):
+            assert name in CRITERIA
+
+    def test_all_guarantees_hold_on_sc_history(self):
+        mem = MemoryADT("ab")
+        h = History.from_processes(
+            [
+                [mem.write("a", 1), mem.read("b", 2)],
+                [mem.write("b", 2), mem.read("a", 1)],
+            ]
+        )
+        assert all(_guarantees(h, mem).values())

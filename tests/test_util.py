@@ -1,0 +1,86 @@
+"""Unit + property tests for bitset and order utilities."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.bitset import as_list, bits, popcount, subsets, to_mask
+from repro.util.orders import (
+    count_linear_extensions,
+    one_topological_order,
+    restrict,
+    topological_orders,
+    transitive_closure,
+)
+
+
+class TestBitset:
+    def test_round_trip(self):
+        assert as_list(to_mask([0, 3, 5])) == [0, 3, 5]
+        assert list(bits(0)) == []
+
+    def test_popcount(self):
+        assert popcount(0b1011) == 3
+
+    def test_subsets_count(self):
+        assert len(list(subsets(0b101))) == 4
+        assert set(subsets(0b11)) == {0b00, 0b01, 0b10, 0b11}
+
+
+class TestTransitiveClosure:
+    def test_chain(self):
+        closed = transitive_closure([0, 0b001, 0b010])
+        assert closed == [0, 0b001, 0b011]
+
+    def test_cycle_raises(self):
+        with pytest.raises(ValueError):
+            transitive_closure([0b10, 0b01])
+
+    @given(st.integers(2, 6), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_closure_is_idempotent_and_transitive(self, n, data):
+        rng = random.Random(data.draw(st.integers(0, 10_000)))
+        # random DAG edges i -> j for i < j
+        pred = [0] * n
+        for j in range(n):
+            for i in range(j):
+                if rng.random() < 0.4:
+                    pred[j] |= 1 << i
+        closed = transitive_closure(pred)
+        assert transitive_closure(closed) == closed
+        for j in range(n):
+            for i in bits(closed[j]):
+                assert closed[i] & ~closed[j] == 0  # pasts nested
+
+
+class TestTopologicalOrders:
+    def test_all_extensions_of_antichain(self):
+        orders = list(topological_orders([0, 0, 0]))
+        assert len(orders) == 6  # 3!
+
+    def test_respects_constraints(self):
+        pred = transitive_closure([0, 0b001, 0b001])
+        for order in topological_orders(pred):
+            assert order.index(0) < order.index(1)
+            assert order.index(0) < order.index(2)
+
+    def test_limit(self):
+        assert len(list(topological_orders([0, 0, 0, 0], limit=5))) == 5
+
+    def test_count_matches_enumeration(self):
+        pred = transitive_closure([0, 0b001, 0, 0b100])
+        assert count_linear_extensions(pred) == len(list(topological_orders(pred)))
+
+    def test_one_topological_order(self):
+        pred = transitive_closure([0b010, 0, 0b011])
+        order = one_topological_order(pred)
+        assert order.index(1) < order.index(0) < order.index(2)
+
+
+class TestRestrict:
+    def test_renumbering(self):
+        pred = transitive_closure([0, 0b001, 0b011])
+        sub = restrict(pred, [0, 2])
+        assert sub == [0, 0b01]
