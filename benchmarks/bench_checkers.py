@@ -13,6 +13,8 @@ import pytest
 from repro.criteria import check
 from repro.litmus.generators import random_window_history
 
+from _util import emit
+
 SIZES = [(2, 2), (2, 3), (2, 4), (3, 3)]
 
 
@@ -39,6 +41,37 @@ def test_checker_scaling(benchmark, criterion, shape):
         ]
 
     benchmark(run)
+
+
+def test_search_work_counters():
+    """Emit the causal-search work profile (families, checks, memo hits,
+    propagation steps, pruned orders) over the population — the cheap
+    companion to ``bench_search_scaling.py`` for eyeballing where the
+    engine spends its effort."""
+    keys = (
+        "families",
+        "event_checks",
+        "lin_nodes",
+        "memo_hits",
+        "propagate_steps",
+        "total_orders",
+        "orders_pruned",
+    )
+    lines = ["criterion  " + "  ".join(f"{k:>15s}" for k in keys)]
+    for criterion in ("WCC", "CC", "CCV"):
+        totals = dict.fromkeys(keys, 0)
+        for processes, ops in SIZES:
+            for h, adt in _population(processes, ops):
+                result = check(h, adt, criterion, max_nodes=500_000)
+                for key in keys:
+                    totals[key] += result.stats.get(key, 0)
+        lines.append(
+            f"{criterion:9s}  " + "  ".join(f"{totals[k]:15d}" for k in keys)
+        )
+        hits, checks = totals["memo_hits"], totals["event_checks"]
+        if hits + checks:
+            lines[-1] += f"  hit-rate={hits / (hits + checks):.3f}"
+    emit("checker_work_counters", "\n".join(lines))
 
 
 def test_certificate_verification_cheap(benchmark):

@@ -159,6 +159,26 @@ def cmd_sessions(args: argparse.Namespace) -> int:
     return 0
 
 
+_WORK_COUNTERS = (
+    ("families", "fam"),
+    ("event_checks", "checks"),
+    ("memo_hits", "memo"),
+    ("propagate_steps", "prop"),
+    ("total_orders", "orders"),
+    ("orders_pruned", "pruned"),
+)
+
+
+def _format_work(stats: Dict[str, Any]) -> str:
+    """Compact search-work summary for the classify table."""
+    parts = [
+        f"{label}={stats[key]}"
+        for key, label in _WORK_COUNTERS
+        if stats.get(key)
+    ]
+    return " ".join(parts) if parts else "-"
+
+
 def cmd_classify(args: argparse.Namespace) -> int:
     with open(args.file) as fh:
         spec = json.load(fh)
@@ -167,8 +187,15 @@ def cmd_classify(args: argparse.Namespace) -> int:
     rows = []
     for criterion in criteria:
         result = check(history, adt, criterion)
-        rows.append([criterion, "yes" if result.ok else "no", result.reason])
-    print(render_table(["criterion", "holds", "reason"], rows))
+        rows.append(
+            [
+                criterion,
+                "yes" if result.ok else "no",
+                result.reason,
+                _format_work(result.stats or {}),
+            ]
+        )
+    print(render_table(["criterion", "holds", "reason", "work"], rows))
     return 0
 
 

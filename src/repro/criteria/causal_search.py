@@ -38,19 +38,58 @@ induced order only removes constraints — so an event failing under the
 current family has a strictly larger past in any witnessing family
 extending it, and (b) every legal single-update extension is branched on.
 Visited families are memoised so exhaustion (the NO answer) terminates.
+
+Incremental closure
+-------------------
+Families along one search path only ever *grow*, one update bit at a
+time, so re-closing a whole family per branch (a Θ(n²·m) fixpoint) is
+wasted work.  ``_propagate`` instead runs a worklist from the single
+``(event, new-bits)`` seed of the branch under the invariant that the
+input family is already K1–K3 closed.  A popped delta is (i) closed
+under K3 against the current update rows, (ii) pushed to the event's
+program-order successors (K2), and (iii) pushed to the *dependents* of
+the event when it is an update — the events whose past contains it (K3
+in the other direction).  Dependent sets are maintained once per search
+as a monotone over-approximation (a bit, once set, is never cleared even
+when the branch that set it is abandoned); soundness comes from
+re-testing actual membership before pushing, completeness from the fact
+that every genuine containment was registered when its bit was first
+added.  K4/K5 are then re-verified only for update rows the worklist
+touched.  ``_propagate_reference``, the original whole-family fixpoint,
+is kept as the executable specification; the equivalence is
+property-tested in ``tests/test_search_perf.py``.
+
+Cross-order memoisation (CCv)
+-----------------------------
+A CCv unit check replays the updates of ``past[e]`` in the total order
+``≤`` and compares ``e``'s output — its verdict depends only on ``(e,
+ordered update sequence)``, *not* on which total order produced that
+sequence.  The per-unit memo is therefore keyed on the ordered tuple of
+past updates and survives across total orders, as does a per-search
+replay-prefix cache mapping each ordered update sequence to the abstract
+state it reaches (so two orders, or two families, sharing a prefix share
+the replay).  Total orders themselves are enumerated lazily through
+:class:`repro.util.orders.LazyOrderEnumerator`, refined by the update
+order induced by the seeded initial family: since that family is
+contained in every witnessing family, any total order contradicting it
+(K5) is pruned at the earliest violating prefix and never materialised.
+
+WCC/CC unit checks additionally share one ``solve_cache`` across the
+whole search (see :mod:`repro.criteria.engine`): linearisation problems
+are memoised by semantic signature, successes included, where previously
+only per-problem dead ends were remembered.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.adt import AbstractDataType
 from ..core.history import History
-from ..core.operations import HIDDEN
-from ..util.bitset import bits
-from ..util.orders import topological_orders, restrict, transitive_closure
-from .engine import LinItem, LinearizationProblem, replay_fixed_order
+from ..util.bitset import bit_list, bits
+from ..util.orders import LazyOrderEnumerator
+from .engine import LinItem, LinearizationProblem
 
 
 class SearchBudgetExceeded(RuntimeError):
@@ -84,10 +123,22 @@ class CausalCertificate:
 
 @dataclass
 class SearchStats:
+    """Work counters of one causal-order search.
+
+    ``memo_hits`` counts checks answered from a memo (unit memo or the
+    shared linearisation solve-cache) instead of running the engine;
+    ``propagate_steps`` counts worklist pops of the incremental closure;
+    ``orders_pruned`` counts total-order prefixes cut by lazy refinement
+    before enumeration (CCv only).
+    """
+
     families_explored: int = 0
     event_checks: int = 0
     lin_nodes: int = 0
     total_orders_tried: int = 0
+    memo_hits: int = 0
+    propagate_steps: int = 0
+    orders_pruned: int = 0
 
 
 class CausalSearch:
@@ -118,16 +169,37 @@ class CausalSearch:
         ]
         self.m = len(self.updates)
         self.upos = {eid: i for i, eid in enumerate(self.updates)}
+        # update position per event (-1 for queries), and invocations of
+        # the updates by position (hot in the CCv replay path)
+        self._event_upos: List[int] = [
+            self.upos.get(e, -1) for e in range(self.n)
+        ]
+        self._upd_invocations = [
+            history.event(u).invocation for u in self.updates
+        ]
         # update positions in the strict po-past of each event
         self.po_upast: List[int] = []
         for e in range(self.n):
             mask = 0
-            for pe in bits(history.past_mask(e)):
-                if pe in self.upos:
-                    mask |= 1 << self.upos[pe]
+            rest = history.past_mask(e)
+            while rest:
+                low = rest & -rest
+                rest ^= low
+                pu = self.upos.get(low.bit_length() - 1)
+                if pu is not None:
+                    mask |= 1 << pu
             self.po_upast.append(mask)
         # strict po order among updates, as position masks (for CCv)
         self.upd_po = [self.po_upast[u] for u in self.updates]
+        # program-order successors, precomputed once per search as lists
+        # (K2 deltas are pushed along them; lists beat re-extracting bit
+        # positions from the mask on every propagation step)
+        self._succ_lists = [
+            bit_list(history.succ_mask(e)) for e in range(self.n)
+        ]
+        # monotone over-approximation of the K3 dependents of each update
+        # position: events whose past ever contained it (see module doc)
+        self._dependents: List[int] = [0] * self.m
         # chains for CC mode
         self.chains = history.processes() if mode == "CC" else ()
         # (chain_idx, eid) units to check
@@ -137,46 +209,65 @@ class CausalSearch:
             ]
         else:
             self.units = [(-1, e) for e in range(self.n)]
-        # memoisation: constraint-key -> (ok, linearisation)
+        # memoisation: constraint-key -> (ok, linearisation).  For CCv the
+        # key is (event, ordered update tuple) and the memo deliberately
+        # survives across total orders.
         self._event_memo: Dict[object, Tuple[bool, Optional[Tuple[int, ...]]]] = {}
         self._visited: Set[Tuple[int, ...]] = set()
         self._total_rank: Optional[List[int]] = None  # CCv only
+        # row-mask -> rank-sorted update tuple, valid for one total order
+        self._seq_cache: Dict[int, Tuple[int, ...]] = {}
         self._last_lin: Optional[Tuple[int, ...]] = None
+        # shared caches (per search): semantic linearisation problems and
+        # CCv replay prefixes (ordered update-position tuple -> state)
+        self._solve_cache: Dict[object, Optional[Tuple[int, ...]]] = {}
+        self._replay_states: Dict[Tuple[int, ...], object] = {
+            (): adt.initial_state()
+        }
 
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
     def run(self) -> Optional[CausalCertificate]:
-        if self.mode == "CCV":
-            count = 0
-            for order in topological_orders(
-                transitive_closure(self.upd_po), limit=self.max_total_orders
-            ):
-                count += 1
-                self.stats.total_orders_tried = count
-                rank = [0] * self.m
-                for r, pos in enumerate(order):
-                    rank[pos] = r
-                self._total_rank = rank
-                self._event_memo.clear()
-                self._visited.clear()
-                family = self._initial_family()
-                if family is not None:
-                    result = self._dfs(family)
-                    if result is not None:
-                        return self._certificate(result, order)
-            if count >= self.max_total_orders:
-                raise SearchBudgetExceeded(
-                    f"more than {self.max_total_orders} total update orders"
-                )
+        family0 = self._initial_family()
+        if family0 is None:
             return None
-        family = self._initial_family()
-        if family is None:
-            return None
-        result = self._dfs(family)
-        if result is None:
-            return None
-        return self._certificate(result, None)
+        if self.mode != "CCV":
+            result = self._dfs(family0)
+            if result is None:
+                return None
+            return self._certificate(result, None)
+        # CCv: enumerate total update orders lazily, refined by the update
+        # order induced by the initial family — it is contained in every
+        # witnessing family, so orders contradicting it cannot succeed.
+        # K1+K3 closure makes the induced relation transitively closed and
+        # K4 makes it acyclic, so it is a valid refinement base.
+        induced = [family0[u] for u in self.updates]
+        enumerator = LazyOrderEnumerator(
+            induced, base=self.upd_po, limit=self.max_total_orders
+        )
+        count = 0
+        for order in enumerator:
+            count += 1
+            self.stats.total_orders_tried = count
+            rank = [0] * self.m
+            for r, pos in enumerate(order):
+                rank[pos] = r
+            self._total_rank = rank
+            # the family-visited memo is order-local (K5 changes which
+            # children close), the unit memo is cross-order by keying
+            self._visited.clear()
+            self._seq_cache.clear()
+            result = self._dfs(list(family0))
+            if result is not None:
+                self.stats.orders_pruned = enumerator.pruned
+                return self._certificate(result, order)
+        self.stats.orders_pruned = enumerator.pruned
+        if count >= self.max_total_orders:
+            raise SearchBudgetExceeded(
+                f"more than {self.max_total_orders} total update orders"
+            )
+        return None
 
     # ------------------------------------------------------------------
     # Family handling
@@ -207,14 +298,108 @@ class CausalSearch:
         return seeds
 
     def _initial_family(self) -> Optional[List[int]]:
+        """The minimal closed family: program order plus semantic seeds.
+
+        The pure-po family is K1–K4 closed by construction (po pasts are
+        nested and acyclic), so only the seeds go through propagation.
+        """
         family = list(self.po_upast)
+        dependents = self._dependents
+        for e in range(self.n):
+            rest = family[e]
+            while rest:
+                low = rest & -rest
+                rest ^= low
+                dependents[low.bit_length() - 1] |= 1 << e
         if self.seed_semantic:
             for e, seed in enumerate(self._semantic_seed_mask()):
-                family[e] |= seed
-        return self._propagate(family)
+                if seed & ~family[e]:
+                    if self._propagate(family, e, seed) is None:
+                        return None
+        return family
 
-    def _propagate(self, family: List[int]) -> Optional[List[int]]:
-        """Close the family under K1-K5; None when a constraint fails."""
+    def _propagate(
+        self, family: List[int], event: int, delta: int
+    ) -> Optional[List[int]]:
+        """Incrementally re-close ``family`` after adding ``delta`` bits to
+        ``event``'s past; ``None`` when K4/K5 fails.
+
+        Precondition: ``family`` without the delta is K1–K3 closed (true
+        for every family produced by this class).  Mutates ``family`` in
+        place — callers pass a fresh copy per branch.
+        """
+        updates = self.updates
+        succ_lists = self._succ_lists
+        dependents = self._dependents
+        event_upos = self._event_upos
+        changed_updates = 0
+        steps = 0
+        work: List[Tuple[int, int]] = [(event, delta)]
+        while work:
+            x, new = work.pop()
+            new &= ~family[x]
+            if not new:
+                continue
+            steps += 1
+            row_x = family[x] | new
+            family[x] = row_x
+            px = event_upos[x]
+            if px >= 0:
+                changed_updates |= 1 << px
+            x_bit = 1 << x
+            # K3 forward: close the new bits under the update rows they
+            # name, registering x as a dependent of each
+            ext = 0
+            rest = new
+            while rest:
+                low = rest & -rest
+                rest ^= low
+                pu = low.bit_length() - 1
+                dependents[pu] |= x_bit
+                ext |= family[updates[pu]]
+            if ext & ~row_x:
+                work.append((x, ext))
+            # K2: the delta flows to every program-order successor
+            for s in succ_lists[x]:
+                if new & ~family[s]:
+                    work.append((s, new))
+            # K3 backward: events whose past contains x (an update) gain
+            # the delta; the dependent mask over-approximates, so re-test
+            if px >= 0:
+                rest = dependents[px]
+                while rest:
+                    low = rest & -rest
+                    rest ^= low
+                    d = low.bit_length() - 1
+                    if (family[d] >> px) & 1 and new & ~family[d]:
+                        work.append((d, new))
+        self.stats.propagate_steps += steps
+        # K4/K5 need re-checking only where update rows changed
+        rank = self._total_rank
+        rest_changed = changed_updates
+        while rest_changed:
+            low = rest_changed & -rest_changed
+            rest_changed ^= low
+            pu = low.bit_length() - 1
+            row = family[updates[pu]]
+            if (row >> pu) & 1:
+                return None  # K4 irreflexivity
+            rpu = rank[pu] if rank is not None else 0
+            rest = row
+            while rest:
+                low2 = rest & -rest
+                rest ^= low2
+                pv = low2.bit_length() - 1
+                if (family[updates[pv]] >> pu) & 1:
+                    return None  # K4 antisymmetry
+                if rank is not None and rank[pv] > rpu:
+                    return None  # K5 total-order containment
+        return family
+
+    def _propagate_reference(self, family: List[int]) -> Optional[List[int]]:
+        """Whole-family K1–K5 fixpoint — the executable specification that
+        :meth:`_propagate` is property-tested against (and a debugging
+        fallback); not used by the search itself."""
         history = self.history
         changed = True
         while changed:
@@ -269,15 +454,22 @@ class CausalSearch:
             return family
         _, e = failing
         # branch: add one update to the failing event's past
-        candidates = [
-            pu
-            for pu in range(self.m)
-            if not (family[e] & (1 << pu)) and self.updates[pu] != e
-        ]
-        for pu in candidates:
+        row = family[e]
+        rank = self._total_rank
+        pe = self._event_upos[e]
+        rank_e = rank[pe] if (rank is not None and pe >= 0) else None
+        for pu in range(self.m):
+            if (row >> pu) & 1 or self.updates[pu] == e:
+                continue
+            if pe >= 0:
+                # adding u ⊏ e for updates: refute K4/K5 before paying for
+                # the family copy and closure
+                if (family[self.updates[pu]] >> pe) & 1:
+                    continue  # u already above e: immediate cycle
+                if rank_e is not None and rank[pu] > rank_e:
+                    continue  # contradicts the total order
             child = list(family)
-            child[e] |= 1 << pu
-            closed = self._propagate(child)
+            closed = self._propagate(child, e, 1 << pu)
             if closed is None:
                 continue
             result = self._dfs(closed)
@@ -288,6 +480,20 @@ class CausalSearch:
     # ------------------------------------------------------------------
     # Per-event checks
     # ------------------------------------------------------------------
+    def _ccv_sequence(self, row: int) -> Tuple[int, ...]:
+        """Update positions of ``row`` sorted by the current total order
+        (cached per order: the same few row masks recur across the
+        families of one order's search)."""
+        sequence = self._seq_cache.get(row)
+        if sequence is None:
+            rank = self._total_rank
+            assert rank is not None
+            ordered = bit_list(row)
+            ordered.sort(key=rank.__getitem__)
+            sequence = tuple(ordered)
+            self._seq_cache[row] = sequence
+        return sequence
+
     def _unit_key(self, unit: Tuple[int, int], family: List[int]) -> object:
         chain_idx, e = unit
         row = family[e]
@@ -296,7 +502,7 @@ class CausalSearch:
             rows_sig = tuple(family[q] for q in prefix)
             return (chain_idx, e, row, rows_sig, self._order_sig(row, family))
         if self.mode == "CCV":
-            return (e, row)
+            return (e, self._ccv_sequence(row))
         return (e, row, self._order_sig(row, family))
 
     def _prefix_of(self, unit: Tuple[int, int]) -> Tuple[int, ...]:
@@ -310,16 +516,56 @@ class CausalSearch:
         memo_key = self._unit_key(unit, family)
         cached = self._event_memo.get(memo_key)
         if cached is not None:
+            self.stats.memo_hits += 1
             return cached[0]
         self.stats.event_checks += 1
         _, e = unit
-        ok = self._run_check(e, self._prefix_of(unit), family)
+        if self.mode == "CCV":
+            ok = self._run_check_ccv(e, memo_key[1])
+        else:
+            ok = self._run_check(e, self._prefix_of(unit), family)
         self._event_memo[memo_key] = (ok, self._last_lin if ok else None)
         return ok
 
     def _order_sig(self, row: int, family: List[int]) -> Tuple[int, ...]:
         """Induced update order restricted to ``row`` (for memo keys)."""
-        return tuple(family[self.updates[pu]] & row for pu in bits(row))
+        updates = self.updates
+        out = []
+        rest = row
+        while rest:
+            low = rest & -rest
+            rest ^= low
+            out.append(family[updates[low.bit_length() - 1]] & row)
+        return tuple(out)
+
+    def _replay_state(self, sequence: Tuple[int, ...]) -> object:
+        """State after replaying the updates of ``sequence`` in order,
+        through the per-search prefix cache (each distinct prefix is
+        replayed at most once per search, across all total orders and
+        families)."""
+        cache = self._replay_states
+        i = len(sequence)
+        while i and sequence[:i] not in cache:
+            i -= 1
+        state = cache[sequence[:i]]
+        transition = self.adt.transition
+        invocations = self._upd_invocations
+        for j in range(i, len(sequence)):
+            state = transition(state, invocations[sequence[j]])
+            cache[sequence[: j + 1]] = state
+        return state
+
+    def _run_check_ccv(self, e: int, sequence: Tuple[int, ...]) -> bool:
+        """CCv unit check: the total order leaves a unique linearisation
+        of the causal past, so the check is one cached replay plus an
+        output comparison (Def. 12)."""
+        event = self.history.event(e)
+        state = self._replay_state(sequence)
+        if not event.hidden:
+            if self.adt.output(state, event.invocation) != event.output:
+                return False
+        self._last_lin = tuple(self.updates[pu] for pu in sequence) + (e,)
+        return True
 
     def _run_check(self, e: int, prefix: Sequence[int], family: List[int]) -> bool:
         history = self.history
@@ -327,24 +573,8 @@ class CausalSearch:
         event = history.event(e)
         row = family[e]
 
-        if self.mode == "CCV":
-            rank = self._total_rank
-            assert rank is not None
-            ordered = sorted(bits(row), key=lambda pu: rank[pu])
-            items = [
-                LinItem(self.updates[pu], history.event(self.updates[pu]).invocation)
-                for pu in ordered
-            ]
-            items.append(
-                LinItem(e, event.invocation, event.output, check=not event.hidden)
-            )
-            ok, _ = replay_fixed_order(adt, items)
-            if ok:
-                self._last_lin = tuple(item.key for item in items)
-            return ok
-
         # WCC / CC: memoised linearisation search over the causal past
-        kept: List[int] = [self.updates[pu] for pu in bits(row)]
+        kept: List[int] = [self.updates[pu] for pu in bit_list(row)]
         visible: Set[int] = {e}
         if self.mode == "CC":
             for q in prefix:
@@ -368,22 +598,33 @@ class CausalSearch:
                 continue
             mask = 0
             # program order among kept events
-            for p in bits(history.past_mask(eid)):
-                j = index.get(p)
+            rest = history.past_mask(eid)
+            while rest:
+                low = rest & -rest
+                rest ^= low
+                j = index.get(low.bit_length() - 1)
                 if j is not None:
                     mask |= 1 << j
             # induced causal edges: u -> eid for updates u in past[eid]
-            for pu in bits(family[eid]):
-                j = index.get(self.updates[pu])
+            rest = family[eid]
+            while rest:
+                low = rest & -rest
+                rest ^= low
+                j = index.get(self.updates[low.bit_length() - 1])
                 if j is not None:
                     mask |= 1 << j
             pred_masks.append(mask)
-        problem = LinearizationProblem(adt, items, pred_masks)
-        solution = problem.solve()
+        problem = LinearizationProblem(
+            adt, items, pred_masks, solve_cache=self._solve_cache
+        )
+        positions = problem.solve_positions()
+        if problem.cache_hit:
+            self.stats.memo_hits += 1
+            self.stats.event_checks -= 1  # answered without running the engine
         self.stats.lin_nodes += problem.nodes_visited
-        if solution is None:
+        if positions is None:
             return False
-        self._last_lin = tuple(solution)
+        self._last_lin = tuple(kept[pos] for pos in positions)
         return True
 
     # ------------------------------------------------------------------

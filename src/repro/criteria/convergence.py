@@ -26,6 +26,9 @@ def check_convergence(
         "families": stats.families_explored,
         "event_checks": stats.event_checks,
         "total_orders": stats.total_orders_tried,
+        "memo_hits": stats.memo_hits,
+        "propagate_steps": stats.propagate_steps,
+        "orders_pruned": stats.orders_pruned,
     }
     if certificate is None:
         return CheckResult(

@@ -19,8 +19,9 @@ on it for correctness.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 from ..adts.memory import MemoryADT
 from ..adts.queue import FifoQueue, SplitQueue
@@ -62,21 +63,30 @@ def _window_value_deps(
     return deps
 
 
+def _writer_index(history: History, method: str) -> Dict[Any, List[int]]:
+    """``args -> [eids]`` for every update with the given method, built in
+    one pass so the per-query lookups below are O(1) instead of a scan of
+    the whole history per read value (the analysis seeds every causal
+    search, so it sits on the checker hot path)."""
+    index: Dict[Any, List[int]] = defaultdict(list)
+    for event in history:
+        if event.invocation.method == method:
+            index[event.invocation.args].append(event.eid)
+    return index
+
+
 def semantic_dependencies(
     history: History, adt: AbstractDataType
 ) -> List[Dependency]:
     """The dashed arrows of Fig. 3 for the supported ADT families."""
     deps: List[Dependency] = []
     if isinstance(adt, MemoryADT):
+        writers_by_target = _writer_index(history, "w")
         for event in history:
             register = adt.read_target(event.invocation)
             if register is None or event.hidden or event.output == adt.default:
                 continue
-            writers = [
-                other.eid
-                for other in history
-                if adt.write_target(other.invocation) == (register, event.output)
-            ]
+            writers = writers_by_target.get((register, event.output), ())
             for writer in writers:
                 deps.append(
                     Dependency(
@@ -88,53 +98,47 @@ def semantic_dependencies(
                 )
         return deps
     if isinstance(adt, WindowStream):
+        writers_by_value = _writer_index(history, "w")
         for event in history:
             if event.invocation.method != "r" or event.hidden:
                 continue
-            def writers_of(value):
-                return [
-                    other.eid
-                    for other in history
-                    if other.invocation.method == "w"
-                    and other.invocation.args[0] == value
-                ]
             deps.extend(
                 _window_value_deps(
-                    history, event.eid, event.output, adt.default, writers_of
+                    history,
+                    event.eid,
+                    event.output,
+                    adt.default,
+                    lambda value: writers_by_value.get((value,), ()),
                 )
             )
         return deps
     if isinstance(adt, WindowStreamArray):
+        writers_by_args = _writer_index(history, "w")
         for event in history:
             if event.invocation.method != "r" or event.hidden:
                 continue
             stream = event.invocation.args[0]
-            def writers_of(value, stream=stream):
-                return [
-                    other.eid
-                    for other in history
-                    if other.invocation.method == "w"
-                    and other.invocation.args == (stream, value)
-                ]
             deps.extend(
                 _window_value_deps(
-                    history, event.eid, event.output, adt.default, writers_of
+                    history,
+                    event.eid,
+                    event.output,
+                    adt.default,
+                    lambda value, stream=stream: writers_by_args.get(
+                        (stream, value), ()
+                    ),
                 )
             )
         return deps
     if isinstance(adt, (FifoQueue, SplitQueue)):
+        pushers_by_value = _writer_index(history, "push")
         reads = ("pop", "hd")
         for event in history:
             if event.invocation.method not in reads or event.hidden:
                 continue
             if event.output is BOTTOM:
                 continue
-            pushers = [
-                other.eid
-                for other in history
-                if other.invocation.method == "push"
-                and other.invocation.args[0] == event.output
-            ]
+            pushers = pushers_by_value.get((event.output,), ())
             for pusher in pushers:
                 deps.append(
                     Dependency(

@@ -10,7 +10,13 @@ that question once, as a memoised depth-first search over pairs
   two different interleavings reaching the same state with the same events
   consumed are equivalent for the rest of the search;
 - events that are hidden **and** have no side effect (hidden pure queries)
-  are dropped up-front: ``delta`` is total so they linearise anywhere.
+  are dropped up-front: ``delta`` is total so they linearise anywhere;
+- callers running many related problems (the causal-order search poses
+  thousands per history) can pass a shared ``solve_cache`` dict: whole
+  problems are then memoised by *semantic signature* — the sequence of
+  (invocation, checked output) pairs plus the precedence masks — so both
+  successes and dead ends are reused across problems whose event ids
+  differ but whose constraint structure coincides.
 
 The search is exact: it returns a linearisation iff one exists.  Worst-case
 cost is ``O(2^m * |states|)`` for ``m`` kept events, which is the expected
@@ -25,7 +31,6 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.adt import AbstractDataType, State
 from ..core.operations import HIDDEN, Invocation
-from ..util.bitset import bits
 
 
 @dataclass(frozen=True)
@@ -43,20 +48,31 @@ class LinItem:
     check: bool = False
 
 
+_MISSING = object()
+
+
 class LinearizationProblem:
-    """A finite poset of operations to interleave against an ADT."""
+    """A finite poset of operations to interleave against an ADT.
+
+    ``solve_cache`` (optional) is a plain dict shared by the caller across
+    many problems; see the module docstring.  Signatures include the ADT
+    instance, so one cache can safely span checks of different objects.
+    """
 
     def __init__(
         self,
         adt: AbstractDataType,
         items: Sequence[LinItem],
         pred_masks: Sequence[int],
+        solve_cache: Optional[Dict[Any, Optional[Tuple[int, ...]]]] = None,
     ) -> None:
         if len(items) != len(pred_masks):
             raise ValueError("one predecessor mask per item required")
         self.adt = adt
         self.items = list(items)
         self.pred_masks = list(pred_masks)
+        self.solve_cache = solve_cache
+        self.cache_hit = False
         self.nodes_visited = 0
 
     # ------------------------------------------------------------------
@@ -78,19 +94,24 @@ class LinearizationProblem:
         return cls(adt, items, masks)
 
     # ------------------------------------------------------------------
-    def prune_noops(self) -> "LinearizationProblem":
-        """Drop hidden pure queries: they have no side effect and no output
-        to check, so they never constrain the search (but their ordering
-        constraints must be *bypassed*: predecessors of a dropped event are
-        inherited by its successors)."""
+    def _pruned(self) -> Tuple["LinearizationProblem", List[int]]:
+        """Problem without hidden pure queries, plus original positions.
+
+        Hidden pure queries have no side effect and no output to check,
+        so they never constrain the search — but their ordering
+        constraints must be *bypassed*: predecessors of a dropped event
+        are inherited by its successors.  Returns ``(problem, keep)``
+        where ``keep[i]`` is the original index of the pruned problem's
+        item ``i``.
+        """
         adt = self.adt
         droppable = [
             not item.check and not adt.is_update(item.invocation)
             for item in self.items
         ]
-        if not any(droppable):
-            return self
         n = len(self.items)
+        if not any(droppable):
+            return self, list(range(n))
         # propagate predecessor masks through dropped events
         masks = list(self.pred_masks)
         changed = True
@@ -98,25 +119,76 @@ class LinearizationProblem:
             changed = False
             for e in range(n):
                 extra = 0
-                for p in bits(masks[e]):
+                rest = masks[e]
+                while rest:
+                    low = rest & -rest
+                    rest ^= low
+                    p = low.bit_length() - 1
                     if droppable[p]:
                         extra |= masks[p]
                 if extra & ~masks[e]:
                     masks[e] |= extra
                     changed = True
         keep = [i for i in range(n) if not droppable[i]]
-        remap = {old: new for new, old in enumerate(keep)}
+        keep_mask = 0
+        remap = {}
+        for new, old in enumerate(keep):
+            keep_mask |= 1 << old
+            remap[old] = new
         new_items = [self.items[i] for i in keep]
         new_masks = []
         for i in keep:
             mask = 0
-            for p in bits(masks[i]):
-                if p in remap:
-                    mask |= 1 << remap[p]
+            rest = masks[i] & keep_mask
+            while rest:
+                low = rest & -rest
+                rest ^= low
+                mask |= 1 << remap[low.bit_length() - 1]
             new_masks.append(mask)
-        return LinearizationProblem(self.adt, new_items, new_masks)
+        return LinearizationProblem(self.adt, new_items, new_masks), keep
+
+    def prune_noops(self) -> "LinearizationProblem":
+        """Public façade over :meth:`_pruned` (drops the index map)."""
+        return self._pruned()[0]
 
     # ------------------------------------------------------------------
+    def signature(self) -> Tuple[Any, ...]:
+        """Semantic identity of the problem, for ``solve_cache`` keys.
+
+        Outputs only participate where they are checked; unchecked items
+        contribute their side effect (the invocation) alone.
+        """
+        return (
+            self.adt,
+            tuple(
+                (item.invocation, item.output if item.check else HIDDEN, item.check)
+                for item in self.items
+            ),
+            tuple(self.pred_masks),
+        )
+
+    def solve_positions(self) -> Optional[List[int]]:
+        """Item *positions* of some admissible linearisation, or ``None``.
+
+        Positions index the original ``items`` sequence, which makes the
+        result independent of item keys and therefore shareable through
+        ``solve_cache`` between problems that differ only in keys.
+        """
+        cache = self.solve_cache
+        if cache is not None:
+            sig = self.signature()
+            hit = cache.get(sig, _MISSING)
+            if hit is not _MISSING:
+                self.cache_hit = True
+                return None if hit is None else list(hit)
+        pruned, keep = self._pruned()
+        result = pruned._search()
+        self.nodes_visited = pruned.nodes_visited
+        positions = None if result is None else [keep[pos] for pos in result]
+        if cache is not None:
+            cache[sig] = None if positions is None else tuple(positions)
+        return positions
+
     def solve(self) -> Optional[List[Any]]:
         """Return the keys of some admissible linearisation, or ``None``.
 
@@ -124,15 +196,13 @@ class LinearizationProblem:
         predecessor constraint, and replays in ``L(T)`` (checked outputs
         must match ``lambda`` at their position).
         """
-        pruned = self.prune_noops()
-        result = pruned._search()
-        self.nodes_visited = pruned.nodes_visited
-        if result is None:
+        positions = self.solve_positions()
+        if positions is None:
             return None
-        return [pruned.items[pos].key for pos in result]
+        return [self.items[pos].key for pos in positions]
 
     def satisfiable(self) -> bool:
-        return self.solve() is not None
+        return self.solve_positions() is not None
 
     # ------------------------------------------------------------------
     def _search(self) -> Optional[List[int]]:

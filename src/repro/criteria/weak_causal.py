@@ -29,6 +29,8 @@ def check_weak_causal(
         "families": stats.families_explored,
         "event_checks": stats.event_checks,
         "lin_nodes": stats.lin_nodes,
+        "memo_hits": stats.memo_hits,
+        "propagate_steps": stats.propagate_steps,
     }
     if certificate is None:
         return CheckResult(

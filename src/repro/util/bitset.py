@@ -19,6 +19,21 @@ def bits(mask: int) -> Iterator[int]:
         mask ^= low
 
 
+def bit_list(mask: int) -> List[int]:
+    """Set bit positions of ``mask`` as a list, in increasing order.
+
+    Non-generator counterpart of :func:`bits` for hot loops: building the
+    list in one flat ``while`` avoids a generator frame per iteration,
+    which measurably matters in the causal-search inner loops.
+    """
+    out = []
+    while mask:
+        low = mask & -mask
+        out.append(low.bit_length() - 1)
+        mask ^= low
+    return out
+
+
 def to_mask(positions: Iterable[int]) -> int:
     """Build a mask with the given bit positions set."""
     mask = 0
@@ -52,4 +67,4 @@ def without(mask: int, position: int) -> int:
 
 
 def as_list(mask: int) -> List[int]:
-    return list(bits(mask))
+    return bit_list(mask)

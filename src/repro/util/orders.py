@@ -5,13 +5,17 @@ Used by the causal-consistency checkers: CCv (Def. 12) quantifies over
 generic search needs topological orders and transitive closures of small
 relations.  Elements are integers ``0..n-1`` and relations are lists of
 predecessor bitmasks (``pred[i]`` = mask of elements strictly before ``i``).
+
+The enumeration routines are iterative (explicit stacks, no recursion)
+and the inner loops manipulate masks with ``mask & -mask`` directly
+rather than going through the :func:`repro.util.bitset.bits` generator —
+these are the hottest loops of the CCv checker.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Iterator, List, Optional, Sequence
-
-from .bitset import bits
 
 
 def transitive_closure(pred: Sequence[int]) -> List[int]:
@@ -27,8 +31,11 @@ def transitive_closure(pred: Sequence[int]) -> List[int]:
         for i in range(n):
             mask = closed[i]
             extra = 0
-            for j in bits(mask):
-                extra |= closed[j]
+            rest = mask
+            while rest:
+                low = rest & -rest
+                rest ^= low
+                extra |= closed[low.bit_length() - 1]
             if extra & ~mask:
                 closed[i] = mask | extra
                 changed = True
@@ -47,57 +54,109 @@ def is_partial_order(pred: Sequence[int]) -> bool:
     return all(closed[i] == pred[i] for i in range(len(pred)))
 
 
-def topological_orders(pred: Sequence[int], limit: Optional[int] = None) -> Iterator[List[int]]:
+class LazyOrderEnumerator:
+    """Iterative enumeration of linear extensions with lazy refinement.
+
+    Yields the linear extensions of the (transitively closed) strict
+    partial order ``refined``.  When ``base`` is also given (a weaker
+    order, ``base[i] ⊆ refined[i]``), the enumerator additionally counts,
+    in :attr:`pruned`, the prefix extension steps that ``base`` would
+    have allowed but ``refined`` forbids — i.e. how many branches of the
+    naive ``base``-only enumeration the refinement cut without ever
+    materialising them.  The CCv search uses this with ``base`` = program
+    order among updates and ``refined`` = the update order induced by the
+    seeded initial family: every total order contradicting a mandatory
+    causal edge is pruned at the earliest possible prefix.
+
+    The traversal is an explicit-stack DFS mirroring the linearisation
+    engine: frames are ``(consumed-mask, scan-position)`` and the current
+    prefix lives in a shared list trimmed to the frame's depth.
+    """
+
+    def __init__(
+        self,
+        refined: Sequence[int],
+        base: Optional[Sequence[int]] = None,
+        limit: Optional[int] = None,
+    ) -> None:
+        self.refined = list(refined)
+        self.base = list(base) if base is not None else None
+        self.limit = limit
+        self.pruned = 0
+        self.yielded = 0
+
+    def __iter__(self) -> Iterator[List[int]]:
+        # each traversal restarts the counters: re-iterating must yield
+        # the same orders again, not resume against a consumed limit
+        self.pruned = 0
+        self.yielded = 0
+        refined = self.refined
+        base = self.base
+        n = len(refined)
+        full = (1 << n) - 1
+        acc: List[int] = []
+        stack: List[tuple] = [(0, 0)]
+        while stack:
+            consumed, pos = stack.pop()
+            del acc[consumed.bit_count():]
+            if consumed == full:
+                self.yielded += 1
+                yield list(acc)
+                if self.limit is not None and self.yielded >= self.limit:
+                    return
+                continue
+            for i in range(pos, n):
+                bit = 1 << i
+                if consumed & bit:
+                    continue
+                if refined[i] & ~consumed:
+                    # would the weaker base order have allowed this step?
+                    if base is not None and not (base[i] & ~consumed):
+                        self.pruned += 1
+                    continue
+                stack.append((consumed, i + 1))
+                stack.append((consumed | bit, 0))
+                acc.append(i)
+                break
+
+
+def topological_orders(
+    pred: Sequence[int], limit: Optional[int] = None
+) -> Iterator[List[int]]:
     """Yield linear extensions of the strict partial order ``pred``.
 
     ``pred`` must be transitively closed.  ``limit`` caps the number of
     extensions yielded (``None`` = all of them).
     """
-    n = len(pred)
-    full = (1 << n) - 1
-    count = 0
-
-    def rec(consumed: int, acc: List[int]) -> Iterator[List[int]]:
-        nonlocal count
-        if consumed == full:
-            yield list(acc)
-            return
-        for i in range(n):
-            bit = 1 << i
-            if consumed & bit:
-                continue
-            if pred[i] & ~consumed:
-                continue
-            acc.append(i)
-            yield from rec(consumed | bit, acc)
-            acc.pop()
-            if limit is not None and count >= limit:
-                return
-
-    for order in rec(0, []):
-        count += 1
-        yield order
-        if limit is not None and count >= limit:
-            return
+    return iter(LazyOrderEnumerator(pred, limit=limit))
 
 
 def one_topological_order(pred: Sequence[int]) -> List[int]:
-    """A single linear extension (Kahn's algorithm), or ValueError."""
+    """A single linear extension (Kahn's algorithm), or ValueError.
+
+    Runs in O(n + edges) using a FIFO queue over ready elements instead
+    of re-scanning (and re-sorting) the remaining set per step.
+    """
     n = len(pred)
-    remaining = set(range(n))
-    consumed = 0
+    indegree = [pred[i].bit_count() for i in range(n)]
+    successors: List[List[int]] = [[] for _ in range(n)]
+    for i in range(n):
+        rest = pred[i]
+        while rest:
+            low = rest & -rest
+            rest ^= low
+            successors[low.bit_length() - 1].append(i)
+    queue = deque(i for i in range(n) if not indegree[i])
     order: List[int] = []
-    while remaining:
-        progress = False
-        for i in sorted(remaining):
-            if not (pred[i] & ~consumed):
-                order.append(i)
-                consumed |= 1 << i
-                remaining.remove(i)
-                progress = True
-                break
-        if not progress:
-            raise ValueError("relation is cyclic")
+    while queue:
+        i = queue.popleft()
+        order.append(i)
+        for s in successors[i]:
+            indegree[s] -= 1
+            if not indegree[s]:
+                queue.append(s)
+    if len(order) != n:
+        raise ValueError("relation is cyclic")
     return order
 
 
@@ -130,8 +189,12 @@ def restrict(pred: Sequence[int], keep: Sequence[int]) -> List[int]:
     out = []
     for e in keep:
         mask = 0
-        for j in bits(pred[e]):
-            if j in index:
-                mask |= 1 << index[j]
+        rest = pred[e]
+        while rest:
+            low = rest & -rest
+            rest ^= low
+            j = index.get(low.bit_length() - 1)
+            if j is not None:
+                mask |= 1 << j
         out.append(mask)
     return out

@@ -180,6 +180,10 @@ class TestConvergence:
         h = History.from_processes([[w2.write(1), w2.read(0, 1)]])
         result = check_convergence(h, w2)
         assert result.stats["total_orders"] >= 1
+        # perf counters of the incremental engine are always reported
+        assert result.stats["propagate_steps"] >= 0
+        assert "memo_hits" in result.stats
+        assert "orders_pruned" in result.stats
 
 
 class TestSearchMachinery:
