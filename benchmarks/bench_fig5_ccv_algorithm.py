@@ -1,9 +1,12 @@
 """E5 — the Fig. 5 algorithm: convergence, model-check, and the ablation
 against the generic log-replay CCv construction.
 
-Also regenerates the transcription-note artifact: the pseudocode as
-printed (``paper_literal=True``) fails the sequential window semantics,
-the corrected insertion does not (DESIGN.md §7).
+The model-check/convergence experiment is specified declaratively as a
+:class:`ScenarioSpec` (quiescence reads come from the spec, and the same
+condition is re-checked under a mid-run partition).  Also regenerates the
+transcription-note artifact: the pseudocode as printed
+(``paper_literal=True``) fails the sequential window semantics, the
+corrected insertion does not (DESIGN.md §7).
 """
 
 import random
@@ -16,8 +19,24 @@ from repro.analysis.harness import run_workload, window_script
 from repro.core.operations import Invocation
 from repro.criteria import check, check_update_consistency
 from repro.runtime import DelayModel, Network, Simulator
+from repro.scenarios import (
+    FaultEvent,
+    Scenario,
+    ScenarioSpec,
+    WorkloadSpec,
+)
 
 from _util import emit
+
+#: the declarative model-check condition, with stable quiescence reads
+FIG5_SCENARIO = ScenarioSpec(
+    name="fig5-model-check",
+    n=3,
+    streams=2,
+    k=2,
+    workload=WorkloadSpec(ops_per_process=4),
+    quiescence_reads=True,
+)
 
 
 def _scripts(seed, n, length, streams):
@@ -42,21 +61,45 @@ def test_fig5_throughput(benchmark, n):
 
 
 def test_fig5_model_checked_and_convergent(benchmark):
-    adt = WindowStreamArray(2, 2)
-    scripts = _scripts(29, 3, 4, 2)
-    qreads = [Invocation("r", (0,)), Invocation("r", (1,))]
+    scenario = Scenario(FIG5_SCENARIO)
 
     def run_and_check():
-        result = run_workload(
-            CCvWindowArray, 3, scripts, seed=4, streams=2, k=2,
-            quiescence_reads=qreads,
-        )
+        result = scenario.run(CCvWindowArray, seed=4, streams=2, k=2)
+        adt = scenario.adt()
         ccv = check(result.history, adt, "CCV")
         uc = check_update_consistency(result.history, adt, result.stable)
         return ccv, uc
 
     ccv, uc = benchmark.pedantic(run_and_check, rounds=2, iterations=1)
     assert ccv.ok and uc.ok
+
+
+def test_fig5_convergent_across_partition(benchmark):
+    """The same condition with a partition thrown mid-run: CCv still
+    holds and the post-heal stable reads agree on every replica."""
+    from dataclasses import replace
+
+    spec = replace(
+        FIG5_SCENARIO,
+        name="fig5-partition",
+        faults=(FaultEvent.partition(1.0, (0, 1), (2,)), FaultEvent.heal(6.0)),
+    )
+    scenario = Scenario(spec)
+
+    def run_and_check():
+        result = scenario.run(CCvWindowArray, seed=7, streams=2, k=2)
+        adt = scenario.adt()
+        ccv = check(result.history, adt, "CCV")
+        stable_reads = {
+            (result.history.event(e).invocation.args, result.history.event(e).output)
+            for e in result.stable
+        }
+        return ccv, stable_reads
+
+    ccv, stable_reads = benchmark.pedantic(run_and_check, rounds=2, iterations=1)
+    assert ccv.ok
+    # one read per stream per process, all agreeing: 2 distinct pairs
+    assert len(stable_reads) == 2
 
 
 def test_fig5_ablation_specialised_vs_generic(benchmark):

@@ -30,6 +30,10 @@ class ReplicatedObject(ABC):
     name: str = "replicated-object"
     #: True when operations return without waiting for other processes.
     wait_free: bool = True
+    #: True when a crash-recovered process can rejoin with correct state
+    #: (op-based algorithms via broadcast anti-entropy, state-based ones
+    #: via their next exchange); the SC sequencer is the counterexample.
+    supports_recovery: bool = True
 
     def __init__(
         self,
@@ -52,6 +56,32 @@ class ReplicatedObject(ABC):
         callback synchronously); blocking implementations return ``None``
         and invoke the callback upon completion.
         """
+
+    # ------------------------------------------------------------------
+    def on_crash(self, pid: int) -> None:
+        """Crash hook, called when ``network.crash(pid)`` is scheduled.
+
+        Crash-stop kills the process's continuations: algorithms with
+        asynchronous completions (the sequencer) drop ``pid``'s in-flight
+        operations here, so a reply straggling in after a recovery cannot
+        complete — and record — an operation whose caller died.  Wait-free
+        algorithms have nothing in flight; the default is a no-op."""
+
+    # ------------------------------------------------------------------
+    def on_recover(self, pid: int) -> None:
+        """Crash-recovery hook, called after ``network.recover(pid)``.
+
+        The default asks the broadcast layer — when it supports it — to
+        anti-entropy the messages ``pid`` missed from a live peer; the
+        replica then replays the missed deliveries through its normal
+        receive path.  State-based algorithms (gossip) need nothing: the
+        next periodic exchange carries the full state.  Algorithms that
+        cannot rejoin (``supports_recovery = False``) leave this a no-op
+        and simply resume with stale state."""
+        service = getattr(self, "broadcast", None)
+        resync = getattr(service, "resync", None)
+        if resync is not None:
+            resync(pid)
 
     # ------------------------------------------------------------------
     def _complete(

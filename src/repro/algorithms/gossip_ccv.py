@@ -47,6 +47,9 @@ class GossipCCvWindowArray(ReplicatedObject):
 
     name = "CCv(W_k^K) [gossip]"
     wait_free = True
+    # state-based: the first gossip exchange after recovery rejoins the
+    # full window state, no explicit resync needed
+    supports_recovery = True
 
     def __init__(
         self,

@@ -29,6 +29,9 @@ class ScSequencer(ReplicatedObject):
     """State-machine replication behind a sequencer (linearizable)."""
 
     wait_free = False
+    # total-order broadcast has no anti-entropy path, and a crashed
+    # sequencer takes the whole object down with it
+    supports_recovery = False
 
     def __init__(
         self,
@@ -65,6 +68,13 @@ class ScSequencer(ReplicatedObject):
                 self._complete(pid, inv, output, start, callback)
 
         return on_deliver
+
+    def on_crash(self, pid: int) -> None:
+        """Crash-stop voids ``pid``'s in-flight operations: their
+        continuations died with the process (the sequenced updates still
+        apply everywhere — a committed-but-unacknowledged write)."""
+        for op_key in [key for key in self._inflight if key[0] == pid]:
+            del self._inflight[op_key]
 
     def invoke(
         self, pid: int, invocation: Invocation, callback: Optional[Callback] = None

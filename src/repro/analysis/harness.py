@@ -1,48 +1,26 @@
-"""Run harness: executes a replicated-object workload and returns the
-observed history plus run statistics.
+"""Run harness: compatibility shim over the scenario engine.
 
-Shared by the model-checking tests, the benchmarks and the examples, so
-every experiment measures the same thing: a seeded simulation is built
-(simulator + network + recorder + algorithm + closed-loop clients), run to
-quiescence, optionally followed by a post-quiescence read phase whose
-events are tagged stable for the EC/UC checkers.
+Historically this module owned the whole simulation assembly; that logic
+now lives in :mod:`repro.scenarios` (declarative specs, fault schedules,
+open-loop clients, the matrix runner).  ``run_workload`` remains the
+stable entry point used by the model-checking tests, benchmarks and
+examples — it builds an ad-hoc :class:`ScenarioSpec` and delegates to
+:meth:`Scenario.run` with explicit scripts, so every experiment keeps
+measuring exactly the same thing.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Type
+from typing import Any, Callable, Dict, List, Optional, Sequence, Type
 
-from ..core.history import History
 from ..core.operations import Invocation
-from ..runtime.network import DelayModel, Network, NetworkStats
-from ..runtime.recorder import HistoryRecorder
-from ..runtime.simulator import Simulator
-from ..runtime.workload import Client
+from ..runtime.network import DelayModel
 from ..algorithms.base import ReplicatedObject
+from ..scenarios.scenario import RunResult, Scenario
+from ..scenarios.spec import FaultEvent, ScenarioSpec, WorkloadSpec
 
-
-@dataclass
-class RunResult:
-    """Everything an experiment needs to know about one run."""
-
-    history: History
-    stable: Set[int]
-    recorder: HistoryRecorder
-    network_stats: NetworkStats
-    algorithm: ReplicatedObject
-    sim: Simulator
-    duration: float
-    ops: int
-
-    @property
-    def mean_latency(self) -> float:
-        return self.recorder.mean_latency()
-
-    @property
-    def messages_per_op(self) -> float:
-        return self.network_stats.sent / self.ops if self.ops else 0.0
+__all__ = ["RunResult", "run_workload", "window_script"]
 
 
 def run_workload(
@@ -64,46 +42,36 @@ def run_workload(
     ``quiescence_reads`` — their results form the stable set used by the
     EC/UC checkers.
 
-    ``crash_plan`` maps pids to crash times (crash-stop, Sec. 6.1).
+    ``crash_plan`` maps pids to crash times (crash-stop, Sec. 6.1; a
+    crashed process's client pauses with it).  Richer fault schedules —
+    partitions, recovery, loss bursts — are the scenario engine's job:
+    build a :class:`ScenarioSpec` instead.
     """
     if len(scripts) != n:
         raise ValueError("one script per process required")
-    sim = Simulator(seed=seed)
-    network = Network(sim, n, delay=delay)
-    recorder = HistoryRecorder(n)
-    algorithm = algorithm_cls(sim, network, recorder, **algorithm_kwargs)
-
-    def record_invoke(pid: int, invocation: Invocation, done: Callable[[Any], None]) -> None:
-        algorithm.invoke(pid, invocation, done)
-
-    clients = [
-        Client(sim, pid, record_invoke, scripts[pid], think=think)
-        for pid in range(n)
-    ]
-    for pid, crash_time in (crash_plan or {}).items():
-        sim.schedule(crash_time, lambda p=pid: network.crash(p))
-    for client in clients:
-        client.start(initial_delay=0.0)
-    sim.run(max_events=5_000_000)
-    # quiescence: nothing in flight anymore (the heap is drained)
-    recorder.mark_quiescent()
-    if quiescence_reads:
-        for pid in range(n):
-            if network.is_crashed(pid):
-                continue
-            for invocation in quiescence_reads:
-                algorithm.invoke(pid, invocation)
-        sim.run(max_events=5_000_000)
-    ops = recorder.count()
-    return RunResult(
-        history=recorder.to_history(),
-        stable=recorder.stable_eids(),
-        recorder=recorder,
-        network_stats=network.stats,
-        algorithm=algorithm,
-        sim=sim,
-        duration=sim.now,
-        ops=ops,
+    # mirror the object dimensions into the ad-hoc spec (Scenario.run
+    # cross-checks them against the algorithm kwargs)
+    adt = algorithm_kwargs.get("adt")
+    spec = ScenarioSpec(
+        name="adhoc-run-workload",
+        n=n,
+        streams=algorithm_kwargs.get("streams", getattr(adt, "streams", 2)),
+        k=algorithm_kwargs.get("k", getattr(adt, "k", 2)),
+        faults=tuple(
+            FaultEvent.crash(when, pid)
+            for pid, when in (crash_plan or {}).items()
+        ),
+        workload=WorkloadSpec(kind="closed"),
+        quiescence_reads=False,
+    )
+    return Scenario(spec).run(
+        algorithm_cls,
+        seed=seed,
+        scripts=scripts,
+        think=think,
+        delay=delay,
+        quiescence_reads=quiescence_reads,
+        **algorithm_kwargs,
     )
 
 

@@ -50,9 +50,13 @@ def classify_population(
     seed: int = 0,
     random_histories: int = 60,
     include_litmus: bool = True,
+    scenario_histories: int = 0,
     max_nodes: int = 100_000,
 ) -> HierarchyReport:
-    """Classify litmus + random histories and audit the hierarchy."""
+    """Classify litmus + random (+ fault-scenario) histories and audit
+    the hierarchy.  ``scenario_histories`` adds algorithm runs under the
+    named fault scenarios of :mod:`repro.scenarios`, cycling through the
+    scenario registry and a spread of algorithms."""
     rng = random.Random(seed)
     report = HierarchyReport()
     population: List[Tuple[str, History, AbstractDataType]] = []
@@ -67,6 +71,17 @@ def classify_population(
     for i in range(random_histories):
         history, adt = generators[i % len(generators)]()
         population.append((f"random-{i}", history, adt))
+    if scenario_histories:
+        from ..litmus.generators import scenario_window_history
+        from ..scenarios import scenario_names
+
+        names = scenario_names()
+        algos = ("cc-fig4", "ccv-fig5", "pram", "lww")
+        for i in range(scenario_histories):
+            name = names[i % len(names)]
+            algo = algos[i % len(algos)]
+            history, adt = scenario_window_history(name, algo, seed=seed + i)
+            population.append((f"scenario-{name}-{algo}-{i}", history, adt))
 
     for name, history, adt in population:
         try:

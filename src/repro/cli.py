@@ -7,7 +7,10 @@ Commands regenerate the paper's artifacts from a terminal:
 - ``consensus``  — the consensus-number matrix of W_k (E7);
 - ``latency``    — operation latency vs network delay (E6);
 - ``sessions``   — session-guarantee violation rates per algorithm (E9);
-- ``classify``   — classify a user-supplied history from a JSON file.
+- ``classify``   — classify a user-supplied history from a JSON file;
+- ``explore``    — the scenario × algorithm × seed matrix: run named
+  fault/workload scenarios against every algorithm in parallel and check
+  each observed history against the algorithm's advertised criterion.
 
 The JSON history format accepted by ``classify``::
 
@@ -124,7 +127,11 @@ def cmd_litmus(args: argparse.Namespace) -> int:
 def cmd_hierarchy(args: argparse.Namespace) -> int:
     from .analysis import classify_population, format_report
 
-    report = classify_population(seed=args.seed, random_histories=args.histories)
+    report = classify_population(
+        seed=args.seed,
+        random_histories=args.histories,
+        scenario_histories=args.scenario_histories,
+    )
     print(format_report(report))
     return 1 if report.inclusion_violations else 0
 
@@ -179,6 +186,38 @@ def _format_work(stats: Dict[str, Any]) -> str:
     return " ".join(parts) if parts else "-"
 
 
+def cmd_explore(args: argparse.Namespace) -> int:
+    from .scenarios import (
+        format_matrix_report,
+        get_scenario,
+        run_matrix,
+        scenario_names,
+    )
+
+    if args.list:
+        for name in scenario_names():
+            spec = get_scenario(name)
+            print(f"{name:24s} {spec.description}")
+        return 0
+    if args.all or not args.scenario:
+        scenarios = None  # every registered scenario
+    else:
+        scenarios = args.scenario
+    report = run_matrix(
+        scenarios=scenarios,
+        algorithms=args.algorithm or None,
+        seeds=args.seeds,
+        jobs=args.jobs,
+        fast=args.fast,
+    )
+    print(format_matrix_report(report))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"report written to {args.json}")
+    return 0 if report.ok else 1
+
+
 def cmd_classify(args: argparse.Namespace) -> int:
     with open(args.file) as fh:
         spec = json.load(fh)
@@ -211,6 +250,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("hierarchy", help="audit the Fig. 1 hierarchy")
     p.add_argument("--histories", type=int, default=30)
+    p.add_argument(
+        "--scenario-histories", type=int, default=0,
+        help="also classify N algorithm runs under the fault scenarios",
+    )
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=cmd_hierarchy)
 
@@ -236,6 +279,33 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("classify", help="classify a JSON history file")
     p.add_argument("file")
     p.set_defaults(fn=cmd_classify)
+
+    p = sub.add_parser(
+        "explore",
+        help="run the scenario x algorithm matrix (fault/workload sweeps)",
+    )
+    p.add_argument(
+        "--scenario", action="append",
+        help="scenario name (repeatable); default: all",
+    )
+    p.add_argument("--all", action="store_true", help="every scenario")
+    p.add_argument(
+        "--algorithm", action="append",
+        help="algorithm key (repeatable); default: all",
+    )
+    p.add_argument("--seeds", type=int, default=2)
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: host-sized; 1 = serial)",
+    )
+    p.add_argument(
+        "--fast", action="store_true", help="shrunk smoke-sized workloads"
+    )
+    p.add_argument("--json", help="also dump the report as JSON to FILE")
+    p.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    p.set_defaults(fn=cmd_explore)
 
     return parser
 

@@ -9,8 +9,12 @@ Two sampling regimes, mixed by the experiment:
   universe, biasing towards inconsistent histories (negative rows).
 
 Algorithm-produced histories (guaranteed CC / CCv / PC / EC) come from
-:mod:`repro.analysis.harness` instead; combining the three sources gives
-the classification population used by ``bench_fig1_hierarchy``.
+:mod:`repro.analysis.harness`; :func:`scenario_window_history` adds a
+fourth source — algorithm runs under the named fault scenarios of
+:mod:`repro.scenarios` (partitions, crashes, loss bursts), whose
+histories stress the checkers far harder than fault-free runs.
+Combining the sources gives the classification population used by
+``bench_fig1_hierarchy``.
 """
 
 from __future__ import annotations
@@ -115,6 +119,24 @@ def random_queue_history(
                 row.append(Operation(kind, BOTTOM))
         rows.append(row)
     return History.from_processes(rows), adt
+
+
+def scenario_window_history(
+    scenario: str = "partition-during-writes",
+    algorithm: str = "ccv-fig5",
+    seed: int = 0,
+    fast_ops: int = 3,
+) -> Tuple[History, AbstractDataType]:
+    """Algorithm-produced W_k history under a named fault scenario.
+
+    Runs one (shrunk) cell of the scenario × algorithm matrix and returns
+    its observed history plus the matching checker ADT.  Deterministic in
+    ``(scenario, algorithm, seed)``."""
+    from ..scenarios import Scenario, get_scenario
+    from ..scenarios.matrix import run_scenario_cell
+
+    result = run_scenario_cell(scenario, algorithm, seed, fast_ops)
+    return result.history, Scenario(result.spec).adt()
 
 
 def random_memory_history(

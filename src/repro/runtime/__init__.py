@@ -11,7 +11,7 @@ from .clocks import LamportClock, VectorClock
 from .network import DelayModel, Network, NetworkStats
 from .recorder import HistoryRecorder, OpRecord
 from .simulator import Simulator
-from .workload import Client, uniform_script
+from .workload import Client, OpenLoopClient, uniform_script
 
 __all__ = [
     "BroadcastService",
@@ -28,5 +28,6 @@ __all__ = [
     "OpRecord",
     "Simulator",
     "Client",
+    "OpenLoopClient",
     "uniform_script",
 ]

@@ -91,6 +91,9 @@ class ReliableBroadcast(BroadcastService):
         super().__init__(network)
         self.flood = flood
         self._seen: List[Set[Tuple[int, int]]] = [set() for _ in range(self.n)]
+        # every message each process has seen, in seen order — the
+        # substrate of crash-recovery anti-entropy (see resync)
+        self._log: List[List[Any]] = [[] for _ in range(self.n)]
         self._next_id: List[int] = [0] * self.n
         for pid in range(self.n):
             network.attach(pid, self._make_receiver(pid))
@@ -101,6 +104,10 @@ class ReliableBroadcast(BroadcastService):
 
         return receive
 
+    def _note_seen(self, pid: int, message: Any) -> None:
+        self._seen[pid].add(message["id"])
+        self._log[pid].append(message)
+
     def broadcast(self, pid: int, payload: Any) -> None:
         if self.network.is_crashed(pid):
             return
@@ -108,7 +115,7 @@ class ReliableBroadcast(BroadcastService):
         self._next_id[pid] += 1
         message = {"id": mid, "origin": pid, "payload": payload}
         # immediate local delivery (Sec. 6.1, third bullet)
-        self._seen[pid].add(mid)
+        self._note_seen(pid, message)
         self._deliver(pid, pid, payload)
         self._relay(pid, message)
 
@@ -121,10 +128,39 @@ class ReliableBroadcast(BroadcastService):
         mid = message["id"]
         if mid in self._seen[pid]:
             return
-        self._seen[pid].add(mid)
+        self._note_seen(pid, message)
         self._deliver(pid, message["origin"], message["payload"])
         if self.flood:
             self._relay(pid, message)
+
+    # ------------------------------------------------------------------
+    def resync(self, target: int, helper: Optional[int] = None) -> int:
+        """Anti-entropy catch-up for a crash-recovered process.
+
+        A live ``helper`` (lowest live pid by default) re-sends the
+        messages it has seen but ``target`` has not (the digest exchange
+        of a real anti-entropy session, read off ``_seen`` directly here)
+        over the network.  The ordering layers (FIFO sequence numbers,
+        causal vector clocks) buffer and deliver them in the right order,
+        so the recovered replica replays exactly the deliveries it
+        missed.  Returns the number of messages re-sent."""
+        if helper is None:
+            live = [
+                pid
+                for pid in range(self.n)
+                if pid != target and not self.network.is_crashed(pid)
+            ]
+            if not live:
+                return 0
+            helper = live[0]
+        missing = [
+            message
+            for message in self._log[helper]
+            if message["id"] not in self._seen[target]
+        ]
+        for message in missing:
+            self.network.send(helper, target, message)
+        return len(missing)
 
 
 class FifoBroadcast(ReliableBroadcast):
@@ -146,7 +182,7 @@ class FifoBroadcast(ReliableBroadcast):
         mid = (pid, self._next_id[pid])
         self._next_id[pid] += 1
         message = {"id": mid, "origin": pid, "payload": payload}
-        self._seen[pid].add(mid)
+        self._note_seen(pid, message)
         self._fifo_accept(pid, message)
         self._relay(pid, message)
 
@@ -154,7 +190,7 @@ class FifoBroadcast(ReliableBroadcast):
         mid = message["id"]
         if mid in self._seen[pid]:
             return
-        self._seen[pid].add(mid)
+        self._note_seen(pid, message)
         if self.flood:
             self._relay(pid, message)
         self._fifo_accept(pid, message)
@@ -202,7 +238,7 @@ class CausalBroadcast(ReliableBroadcast):
             "payload": payload,
             "stamp": vc.snapshot(),
         }
-        self._seen[pid].add(mid)
+        self._note_seen(pid, message)
         self._deliver(pid, pid, payload)
         self._relay(pid, message)
 
@@ -210,7 +246,7 @@ class CausalBroadcast(ReliableBroadcast):
         mid = message["id"]
         if mid in self._seen[pid]:
             return
-        self._seen[pid].add(mid)
+        self._note_seen(pid, message)
         if self.flood:
             self._relay(pid, message)
         self._buffer[pid].append(message)

@@ -111,6 +111,7 @@ class NetworkStats:
     delivered: int = 0
     dropped_to_crashed: int = 0
     lost: int = 0
+    held: int = 0
     total_delay: float = 0.0
 
     @property
@@ -123,7 +124,16 @@ class Network:
 
     ``attach(pid, handler)`` registers the message handler of process
     ``pid``; :meth:`send` schedules its invocation after a sampled delay.
-    Crashed processes neither send nor receive (crash-stop).
+    Crashed processes neither send nor receive; :meth:`recover` lets a
+    crashed process rejoin (messages that were in flight towards it while
+    it was down stay dropped — state catch-up is the algorithm's job, see
+    :meth:`repro.algorithms.base.ReplicatedObject.on_recover`).
+
+    The fault surface is event-driven: :meth:`partition`/:meth:`heal`,
+    :meth:`crash`/:meth:`recover`, :meth:`set_loss_rate` (loss bursts) and
+    :meth:`set_delay_scale` (delay spikes) may all be invoked from
+    simulator callbacks, which is how
+    :class:`repro.scenarios.faults.FaultSchedule` drives them.
     """
 
     def __init__(
@@ -139,6 +149,7 @@ class Network:
         self.n = n
         self.delay = delay or DelayModel.uniform(0.5, 1.5)
         self.loss_rate = loss_rate
+        self.delay_scale = 1.0
         self.handlers: Dict[int, Callable[[int, Any], None]] = {}
         self.crashed: Set[int] = set()
         self.stats = NetworkStats()
@@ -146,6 +157,7 @@ class Network:
         # processes are in different groups, messages between them are
         # *held*, not lost — the network stays reliable-eventual
         self._partition: Optional[List[Set[int]]] = None
+        self._group_of: Optional[Dict[int, int]] = None
         self._held: List[tuple] = []
 
     def attach(self, pid: int, handler: Callable[[int, Any], None]) -> None:
@@ -157,8 +169,30 @@ class Network:
         """Crash-stop ``pid``: it stops sending and receiving immediately."""
         self.crashed.add(pid)
 
+    def recover(self, pid: int) -> None:
+        """Undo :meth:`crash`: ``pid`` resumes sending and receiving.
+
+        Only the network membership is restored; replica state that missed
+        deliveries while down must be rejoined by the algorithm (e.g. via
+        broadcast-level anti-entropy, ``ReliableBroadcast.resync``)."""
+        self.crashed.discard(pid)
+
     def is_crashed(self, pid: int) -> bool:
         return pid in self.crashed
+
+    # ------------------------------------------------------------------
+    # Fault dials (loss bursts, delay spikes)
+    # ------------------------------------------------------------------
+    def set_loss_rate(self, rate: float) -> None:
+        if not (0.0 <= rate < 1.0):
+            raise ValueError("loss rate must be in [0, 1)")
+        self.loss_rate = rate
+
+    def set_delay_scale(self, factor: float) -> None:
+        """Scale every sampled delay by ``factor`` (congestion spike)."""
+        if factor <= 0:
+            raise ValueError("delay scale must be positive")
+        self.delay_scale = factor
 
     # ------------------------------------------------------------------
     # Partitions
@@ -166,7 +200,9 @@ class Network:
     def partition(self, *groups: Iterable[int]) -> None:
         """Split the network into disjoint groups; cross-group messages
         are held until :meth:`heal` (reliability is preserved: partitions
-        delay, they do not lose)."""
+        delay, they do not lose).  Repartitioning without an intervening
+        heal releases exactly the held messages whose endpoints the new
+        groups reunite."""
         sets = [set(g) for g in groups]
         seen: Set[int] = set()
         for g in sets:
@@ -174,23 +210,33 @@ class Network:
                 raise ValueError("partition groups must be disjoint")
             seen |= g
         self._partition = sets
+        # processes not mentioned in any group form an implicit last group
+        self._group_of = {
+            pid: i for i, group in enumerate(sets) for pid in group
+        }
+        self._flush_held()
 
     def heal(self) -> None:
         """Remove the partition and release all held messages."""
         self._partition = None
+        self._group_of = None
+        self._flush_held()
+
+    def _flush_held(self) -> None:
+        """Transmit held messages whose endpoints are reconnected, in the
+        order they were sent.  Held traffic never goes through the loss
+        gate: partitions delay, they do not lose."""
         held, self._held = self._held, []
         for src, dst, payload in held:
-            self.send(src, dst, payload)
+            if self._separated(src, dst):
+                self._held.append((src, dst, payload))
+            else:
+                self._transmit(src, dst, payload, lossy=False)
 
     def _separated(self, src: int, dst: int) -> bool:
-        if self._partition is None:
+        if self._group_of is None:
             return False
-        group_of = {}
-        for i, group in enumerate(self._partition):
-            for pid in group:
-                group_of[pid] = i
-        # processes not mentioned in any group form an implicit last group
-        return group_of.get(src, -1) != group_of.get(dst, -1)
+        return self._group_of.get(src, -1) != self._group_of.get(dst, -1)
 
     # ------------------------------------------------------------------
     def send(self, src: int, dst: int, payload: Any) -> None:
@@ -198,16 +244,20 @@ class Network:
         if src in self.crashed:
             return
         if self._separated(src, dst):
+            self.stats.held += 1
             self._held.append((src, dst, payload))
             return
+        self._transmit(src, dst, payload, lossy=True)
+
+    def _transmit(self, src: int, dst: int, payload: Any, lossy: bool) -> None:
         self.stats.sent += 1
-        if self.loss_rate and self.sim.rng.random() < self.loss_rate:
+        if lossy and self.loss_rate and self.sim.rng.random() < self.loss_rate:
             # a lossy fair link: the message silently disappears (the
             # paper's reliable-channel assumption is the loss_rate=0 case;
             # gossip-style algorithms tolerate loss, op-based ones do not)
             self.stats.lost += 1
             return
-        delay = self.delay.sample(self.sim.rng, src, dst)
+        delay = self.delay.sample(self.sim.rng, src, dst) * self.delay_scale
 
         def deliver() -> None:
             if dst in self.crashed:

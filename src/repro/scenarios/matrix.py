@@ -1,0 +1,369 @@
+"""Scenario × algorithm × seed matrix runner.
+
+Executes every combination across a ``multiprocessing`` pool (each cell
+is an independent seeded simulation, so the sweep is embarrassingly
+parallel), pipes each observed history straight into the criteria engine,
+and aggregates verdicts plus latency/message statistics into one report.
+
+Each algorithm advertises the criterion the paper places it at (Fig. 1):
+the causal algorithms must pass it on *every* scenario, while the
+sequencer-based SC baseline is expected to be flagged unavailable
+(blocked operations, delay-dependent latency) under partition and crash
+scenarios — exactly the paper's CAP motivation.  ``python -m repro
+explore`` is the CLI front end.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..adts.window_stream import WindowStreamArray
+from ..algorithms import (
+    CCWindowArray,
+    CCvWindowArray,
+    GenericCausal,
+    GenericCCv,
+    GossipCCvWindowArray,
+    LwwReplication,
+    PramReplication,
+    ScSequencer,
+)
+from ..criteria import SearchBudgetExceeded, check
+from ..util.tables import render_table
+from .registry import get_scenario, scenario_names
+from .scenario import RunResult, Scenario
+from .spec import ScenarioSpec
+
+#: node budget per criterion check; exceeding it marks the cell
+#: inconclusive instead of wrong
+CHECK_BUDGET = 400_000
+
+#: ops per process in ``--fast`` (smoke) mode
+FAST_OPS = 3
+
+
+@dataclass(frozen=True)
+class AlgorithmEntry:
+    """One row of the algorithm registry."""
+
+    key: str
+    cls: type
+    criterion: str  # advertised criterion: CC | CCV | PC | SC | CONV
+    kwargs_style: str  # "window" (streams/k) | "adt" (generic object)
+    gossip: bool = False  # needs start_gossip after construction
+    #: guarantee void on lossy channels: a lost sequenced message lets an
+    #: operation take effect remotely without ever completing at its
+    #: origin, so the recorded history can expose unwritten values
+    needs_reliable: bool = False
+
+
+ALGORITHMS: Dict[str, AlgorithmEntry] = {
+    entry.key: entry
+    for entry in (
+        AlgorithmEntry("cc-fig4", CCWindowArray, "CC", "window"),
+        AlgorithmEntry("ccv-fig5", CCvWindowArray, "CCV", "window"),
+        AlgorithmEntry("cc-generic", GenericCausal, "CC", "adt"),
+        AlgorithmEntry("ccv-generic", GenericCCv, "CCV", "adt"),
+        AlgorithmEntry("gossip", GossipCCvWindowArray, "CONV", "window", gossip=True),
+        AlgorithmEntry("pram", PramReplication, "PC", "adt"),
+        AlgorithmEntry("lww", LwwReplication, "CONV", "adt"),
+        AlgorithmEntry(
+            "sc-sequencer", ScSequencer, "SC", "adt", needs_reliable=True
+        ),
+    )
+}
+
+
+def algorithm_names() -> List[str]:
+    return list(ALGORITHMS)
+
+
+def _build_kwargs(entry: AlgorithmEntry, spec: ScenarioSpec) -> Dict[str, Any]:
+    if entry.kwargs_style == "window":
+        return {"streams": spec.streams, "k": spec.k}
+    return {"adt": WindowStreamArray(spec.streams, spec.k)}
+
+
+def build_post_setup(entry: AlgorithmEntry, spec: ScenarioSpec):
+    """Post-construction hook for ``Scenario.run``: gossip algorithms
+    need their periodic anti-entropy started, budgeted past the last
+    scheduled fault so post-heal exchanges still happen."""
+    if not entry.gossip:
+        return None
+    rounds = int(spec.fault_horizon) + 30
+
+    def post_setup(obj: Any) -> None:
+        obj.start_gossip(rounds=rounds)
+
+    return post_setup
+
+
+def _replicas_converged(algorithm: Any, spec: ScenarioSpec) -> bool:
+    """The CONV verdict: all live replicas expose identical state."""
+    live = [
+        pid for pid in range(algorithm.n)
+        if not algorithm.network.is_crashed(pid)
+    ]
+    if not live:
+        return True
+    if hasattr(algorithm, "window"):
+        states = [
+            tuple(algorithm.window(pid, x) for x in range(spec.streams))
+            for pid in live
+        ]
+    else:
+        states = [algorithm.state_of(pid) for pid in live]
+    return all(state == states[0] for state in states[1:])
+
+
+# ----------------------------------------------------------------------
+# One cell
+# ----------------------------------------------------------------------
+@dataclass
+class MatrixCell:
+    """Verdict + stats of one (scenario, algorithm, seed) run."""
+
+    scenario: str
+    algorithm: str
+    criterion: str
+    seed: int
+    ok: Optional[bool]  # None = inconclusive (search budget exceeded)
+    expected: bool  # is the criterion expected to hold here?
+    wait_free: bool
+    available: bool
+    blocked: int
+    ops: int
+    mean_latency: float
+    messages_per_op: float
+    wall_seconds: float
+    note: str = ""
+
+    @property
+    def failure(self) -> bool:
+        return self.expected and self.ok is False
+
+
+def run_scenario_cell(
+    scenario_name: str, algorithm: str, seed: int, fast_ops: int = 0
+) -> RunResult:
+    """Run one (scenario, algorithm, seed) cell and return its result.
+
+    The shared cell-assembly recipe — spec lookup (optionally shrunk),
+    registry entry, algorithm kwargs, gossip post-setup — used by the
+    matrix worker and by the litmus scenario-history generator."""
+    spec = get_scenario(scenario_name)
+    if fast_ops:
+        spec = spec.fast(fast_ops)
+    entry = ALGORITHMS[algorithm]
+    return Scenario(spec).run(
+        entry.cls, seed=seed, post_setup=build_post_setup(entry, spec),
+        **_build_kwargs(entry, spec),
+    )
+
+
+def _run_cell(job: Tuple[str, str, int, int]) -> MatrixCell:
+    """Worker entry point: run one cell (picklable in, picklable out)."""
+    scenario_name, algo_key, seed, fast_ops = job
+    spec = get_scenario(scenario_name)
+    if fast_ops:
+        spec = spec.fast(fast_ops)
+    entry = ALGORITHMS[algo_key]
+    scenario = Scenario(spec)
+    t0 = time.perf_counter()
+
+    result = run_scenario_cell(scenario_name, algo_key, seed, fast_ops)
+
+    note = ""
+    if entry.criterion == "CONV":
+        ok: Optional[bool] = _replicas_converged(result.algorithm, spec)
+    else:
+        kwargs = (
+            {"max_nodes": CHECK_BUDGET}
+            if entry.criterion in ("CC", "CCV", "WCC")
+            else {}
+        )
+        try:
+            ok = bool(check(result.history, scenario.adt(), entry.criterion, **kwargs))
+        except SearchBudgetExceeded:
+            ok = None
+            note = "search budget exceeded"
+
+    has_recovery = any(e.action == "recover" for e in spec.faults)
+    has_loss = spec.loss_rate > 0 or any(
+        e.action == "loss" and e.rate > 0 for e in spec.faults
+    )
+    expected = entry.cls.supports_recovery or not has_recovery
+    if not expected:
+        note = (note + "; " if note else "") + "recovery unsupported"
+    if entry.needs_reliable and has_loss:
+        expected = False
+        note = (note + "; " if note else "") + "lossy channels void assumption"
+    blocked = result.blocked
+    if blocked:
+        note = (note + "; " if note else "") + f"{blocked} ops blocked"
+
+    return MatrixCell(
+        scenario=scenario_name,
+        algorithm=algo_key,
+        criterion=entry.criterion,
+        seed=seed,
+        ok=ok,
+        expected=expected,
+        wait_free=bool(entry.cls.wait_free),
+        available=blocked == 0,
+        blocked=blocked,
+        ops=result.ops,
+        mean_latency=result.mean_latency,
+        messages_per_op=result.messages_per_op,
+        wall_seconds=time.perf_counter() - t0,
+        note=note,
+    )
+
+
+# ----------------------------------------------------------------------
+# The sweep
+# ----------------------------------------------------------------------
+@dataclass
+class MatrixReport:
+    cells: List[MatrixCell] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[MatrixCell]:
+        return [cell for cell in self.cells if cell.failure]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def inconclusive(self) -> List[MatrixCell]:
+        return [cell for cell in self.cells if cell.ok is None]
+
+    def non_wait_free_flagged(self) -> List[MatrixCell]:
+        """Cells where a non-wait-free algorithm showed its colours:
+        blocked operations or delay-dependent latency."""
+        return [
+            cell
+            for cell in self.cells
+            if not cell.wait_free
+            and (cell.blocked > 0 or cell.mean_latency > 0.0)
+        ]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "cells": [asdict(cell) for cell in self.cells],
+        }
+
+
+def run_matrix(
+    scenarios: Optional[Sequence[str]] = None,
+    algorithms: Optional[Sequence[str]] = None,
+    seeds: int = 2,
+    jobs: Optional[int] = None,
+    fast: bool = False,
+) -> MatrixReport:
+    """Run the scenario × algorithm × seed sweep, in parallel.
+
+    ``jobs=None`` sizes the pool to the host; ``jobs=1`` runs serially in
+    this process (deterministic debugging, no fork)."""
+    scenario_keys = list(scenarios) if scenarios else scenario_names()
+    algo_keys = list(algorithms) if algorithms else algorithm_names()
+    for name in scenario_keys:
+        get_scenario(name)  # fail fast on typos
+    for key in algo_keys:
+        if key not in ALGORITHMS:
+            known = ", ".join(algorithm_names())
+            raise KeyError(f"unknown algorithm {key!r}; known: {known}")
+
+    fast_ops = FAST_OPS if fast else 0
+    cells_in = [
+        (scenario, algo, seed, fast_ops)
+        for scenario in scenario_keys
+        for algo in algo_keys
+        for seed in range(seeds)
+    ]
+    if jobs is None:
+        jobs = min(len(cells_in), os.cpu_count() or 2)
+    if jobs <= 1 or len(cells_in) <= 1:
+        cells = [_run_cell(job) for job in cells_in]
+    else:
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        with ctx.Pool(processes=jobs) as pool:
+            cells = pool.map(_run_cell, cells_in)
+    return MatrixReport(cells=cells)
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+def _verdict(cells: List[MatrixCell]) -> str:
+    passed = sum(1 for c in cells if c.ok)
+    inconclusive = sum(1 for c in cells if c.ok is None)
+    total = len(cells)
+    if inconclusive:
+        return f"?{passed}/{total}"
+    if passed == total:
+        return f"ok {passed}/{total}"
+    if all(not c.expected for c in cells):
+        return f"n/a {passed}/{total}"
+    return f"FAIL {passed}/{total}"
+
+
+def format_matrix_report(report: MatrixReport) -> str:
+    """One row per (scenario, algorithm), seeds aggregated."""
+    groups: Dict[Tuple[str, str], List[MatrixCell]] = {}
+    for cell in report.cells:
+        groups.setdefault((cell.scenario, cell.algorithm), []).append(cell)
+    rows = []
+    for (scenario, algorithm), cells in groups.items():
+        blocked = sum(c.blocked for c in cells)
+        latency = sum(c.mean_latency for c in cells) / len(cells)
+        messages = sum(c.messages_per_op for c in cells) / len(cells)
+        wall = sum(c.wall_seconds for c in cells)
+        rows.append(
+            [
+                scenario,
+                algorithm,
+                cells[0].criterion,
+                _verdict(cells),
+                "yes" if blocked == 0 else f"no ({blocked} blocked)",
+                f"{latency:.2f}",
+                f"{messages:.1f}",
+                f"{wall:.2f}s",
+            ]
+        )
+    table = render_table(
+        [
+            "scenario",
+            "algorithm",
+            "criterion",
+            "verdict",
+            "available",
+            "latency",
+            "msg/op",
+            "wall",
+        ],
+        rows,
+    )
+    lines = [table, ""]
+    lines.append(
+        f"cells: {len(report.cells)}, failures: {len(report.failures)}, "
+        f"inconclusive: {len(report.inconclusive)}"
+    )
+    flagged = report.non_wait_free_flagged()
+    if flagged:
+        combos = sorted({(c.scenario, c.algorithm) for c in flagged})
+        lines.append(
+            "non-wait-free behaviour flagged (blocked ops or delay-bound "
+            "latency): "
+            + ", ".join(f"{a} on {s}" for s, a in combos)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,154 @@
+"""Built-in scenario registry: the named fault/workload scenarios.
+
+Each entry is a :class:`ScenarioSpec`; ``python -m repro explore`` and the
+matrix runner resolve scenarios by name, and tests pin their semantics.
+Timings assume the default closed-loop pace (think 0.1–1.0, delays around
+one time unit): faults land while the workload is in flight, and every
+scenario restores full connectivity/membership before quiescence so the
+convergence-class criteria are decidable at the stable reads.
+
+Design notes:
+
+- partitions always heal, crashes always recover (crash-*stop* forever is
+  covered by ``run_workload``'s ``crash_plan`` shim and the dedicated
+  fault tests);
+- lossy phases end with ``n - 1`` spaced ``repair`` sweeps, which
+  guarantee full dissemination for op-based broadcast algorithms (the
+  state-based gossip algorithm needs no repair — that is its point);
+- scenario sizes stay small enough for the exact checkers: histories of
+  a few dozen events.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .spec import DelaySpec, FaultEvent, ScenarioSpec, WorkloadSpec
+
+F = FaultEvent
+
+
+def _builtin() -> List[ScenarioSpec]:
+    return [
+        ScenarioSpec(
+            name="partition-during-writes",
+            description="two-way split while both sides keep writing; "
+            "heals before quiescence (the CAP motivation of Sec. 1)",
+            n=3,
+            faults=(F.partition(1.5, (0, 1), (2,)), F.heal(8.0)),
+            workload=WorkloadSpec(ops_per_process=6, write_ratio=0.7),
+        ),
+        ScenarioSpec(
+            name="partition-minority",
+            description="the sequencer's side is a singleton: SC blocks "
+            "for everyone else, wait-free algorithms keep serving",
+            n=4,
+            faults=(F.partition(1.5, (0,), (1, 2, 3)), F.heal(8.0)),
+            workload=WorkloadSpec(ops_per_process=6),
+        ),
+        ScenarioSpec(
+            name="flaky-link",
+            description="a 25% loss burst mid-run, then anti-entropy "
+            "repair sweeps (gossip shrugs; op-based needs the repairs)",
+            n=4,
+            faults=(
+                F.loss(1.0, 0.25),
+                F.loss(6.0, 0.0),
+                F.repair(10.0),
+                F.repair(13.0),
+                F.repair(16.0),
+            ),
+            workload=WorkloadSpec(ops_per_process=6),
+        ),
+        ScenarioSpec(
+            name="rolling-crashes",
+            description="one process at a time crashes and recovers with "
+            "anti-entropy state rejoin",
+            n=4,
+            faults=(
+                F.crash(2.0, 1),
+                F.recover(6.0, 1),
+                F.crash(7.0, 2),
+                F.recover(11.0, 2),
+                F.crash(12.0, 3),
+                F.recover(16.0, 3),
+            ),
+            workload=WorkloadSpec(ops_per_process=6),
+        ),
+        ScenarioSpec(
+            name="churn",
+            description="processes leave and rejoin while the partition "
+            "layout shifts underneath (repartition without heal)",
+            n=4,
+            faults=(
+                F.crash(1.5, 3),
+                F.recover(5.0, 3),
+                F.partition(6.0, (0, 1), (2, 3)),
+                F.partition(9.0, (0, 2), (1, 3)),
+                F.heal(12.0),
+                F.crash(13.0, 1),
+                F.recover(15.5, 1),
+            ),
+            workload=WorkloadSpec(ops_per_process=6),
+        ),
+        ScenarioSpec(
+            name="hot-key-contention",
+            description="update-heavy traffic piling onto stream 0 "
+            "(85% hot-key skew): maximal write-write concurrency",
+            n=3,
+            streams=4,
+            workload=WorkloadSpec(
+                ops_per_process=6, write_ratio=0.6, hot_key_weight=0.85
+            ),
+        ),
+        ScenarioSpec(
+            name="open-loop-overload",
+            description="Poisson arrivals faster than the round trip: "
+            "open-loop load does not slow down for the sequencer",
+            n=3,
+            delay=DelaySpec("uniform", (1.0, 3.0)),
+            workload=WorkloadSpec(
+                kind="open", ops_per_process=8, rate=3.0
+            ),
+        ),
+        ScenarioSpec(
+            name="long-fat-network",
+            description="heterogeneous high-delay links (stable fast and "
+            "slow paths): maximal reordering pressure",
+            n=4,
+            delay=DelaySpec("per-link", (2.0, 12.0, 0.2)),
+            workload=WorkloadSpec(ops_per_process=6),
+        ),
+        ScenarioSpec(
+            name="delay-spike",
+            description="a 6x congestion spike mid-run, then back to "
+            "normal",
+            n=4,
+            faults=(F.delay_spike(2.0, 6.0), F.delay_spike(7.0, 1.0)),
+            workload=WorkloadSpec(ops_per_process=6),
+        ),
+        ScenarioSpec(
+            name="quiet-then-burst",
+            description="cyclic phases: long quiet trickle, then a dense "
+            "burst of traffic",
+            n=4,
+            workload=WorkloadSpec(
+                ops_per_process=6, phases=((5.0, 0.25), (2.0, 5.0))
+            ),
+        ),
+    ]
+
+
+SCENARIOS: Dict[str, ScenarioSpec] = {spec.name: spec for spec in _builtin()}
+
+
+def scenario_names() -> List[str]:
+    return list(SCENARIOS)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(scenario_names())
+        raise KeyError(f"unknown scenario {name!r}; known: {known}") from None

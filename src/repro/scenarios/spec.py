@@ -1,0 +1,231 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is a plain, frozen, JSON-round-trippable value
+describing one experimental condition for a replicated object:
+
+- the **network**: a topology-aware delay model plus a baseline loss rate;
+- the **fault schedule**: timed :class:`FaultEvent`s — partitions that
+  later heal, crashes that later recover (with anti-entropy state rejoin
+  where the algorithm supports it), loss bursts, delay spikes and
+  explicit anti-entropy repair sweeps;
+- the **workload profile**: closed-loop clients with think times, or
+  open-loop Poisson arrivals; read-heavy/update-heavy mixes, hot-key
+  skew, and cyclic quiet/burst phases.
+
+Specs are deliberately *inert*: building the live simulation objects is
+:class:`repro.scenarios.scenario.Scenario`'s job, so the same spec can be
+shipped to a worker process, serialised into a report, or shrunk with
+:meth:`ScenarioSpec.fast` for smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+
+from ..runtime.network import DelayModel
+
+
+# ----------------------------------------------------------------------
+# Delay models
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DelaySpec:
+    """Named delay model + parameters (see :class:`DelayModel`).
+
+    kinds: ``constant(delay)``, ``uniform(low, high)``,
+    ``exponential(mean, floor)``, ``per-link(low, high, jitter)``.
+    """
+
+    kind: str = "uniform"
+    params: Tuple[float, ...] = (0.5, 1.5)
+
+    def build(self) -> DelayModel:
+        factories = {
+            "constant": DelayModel.constant,
+            "uniform": DelayModel.uniform,
+            "exponential": DelayModel.exponential,
+            "per-link": DelayModel.per_link,
+        }
+        try:
+            factory = factories[self.kind]
+        except KeyError:
+            known = ", ".join(sorted(factories))
+            raise ValueError(
+                f"unknown delay model {self.kind!r}; known: {known}"
+            ) from None
+        return factory(*self.params)
+
+
+# ----------------------------------------------------------------------
+# Fault schedule events
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault action, applied off the simulator clock.
+
+    ``action`` is one of ``partition``, ``heal``, ``crash``, ``recover``,
+    ``loss`` (set the loss rate: a pair of these makes a loss burst),
+    ``delay-scale`` (scale sampled delays: a pair makes a delay spike) and
+    ``repair`` (one ring-shaped anti-entropy sweep over the live
+    processes, for algorithms whose broadcast layer supports ``resync``).
+    Unused fields keep their defaults, which keeps the JSON small."""
+
+    time: float
+    action: str
+    groups: Tuple[Tuple[int, ...], ...] = ()
+    pid: int = -1
+    rate: float = 0.0
+    factor: float = 1.0
+
+    # Named constructors ------------------------------------------------
+    @staticmethod
+    def partition(time: float, *groups: Iterable[int]) -> "FaultEvent":
+        return FaultEvent(
+            time, "partition", groups=tuple(tuple(g) for g in groups)
+        )
+
+    @staticmethod
+    def heal(time: float) -> "FaultEvent":
+        return FaultEvent(time, "heal")
+
+    @staticmethod
+    def crash(time: float, pid: int) -> "FaultEvent":
+        return FaultEvent(time, "crash", pid=pid)
+
+    @staticmethod
+    def recover(time: float, pid: int) -> "FaultEvent":
+        return FaultEvent(time, "recover", pid=pid)
+
+    @staticmethod
+    def loss(time: float, rate: float) -> "FaultEvent":
+        return FaultEvent(time, "loss", rate=rate)
+
+    @staticmethod
+    def delay_spike(time: float, factor: float) -> "FaultEvent":
+        return FaultEvent(time, "delay-scale", factor=factor)
+
+    @staticmethod
+    def repair(time: float) -> "FaultEvent":
+        return FaultEvent(time, "repair")
+
+
+# ----------------------------------------------------------------------
+# Workload profiles
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """How clients generate and pace invocations.
+
+    ``kind`` selects the driver: ``closed`` (one op at a time, think time
+    between completions) or ``open`` (Poisson arrivals at ``rate`` per
+    client, issued whether or not earlier operations completed).
+
+    The op mix targets a window-stream array: a write ``w(x, v)`` with
+    probability ``write_ratio``, else a read ``r(x)``; the stream ``x``
+    is stream 0 with probability ``hot_key_weight`` (contention) and
+    uniform otherwise.  ``phases`` is a cyclic intensity profile of
+    ``(duration, intensity)`` pairs: intensity multiplies the open-loop
+    arrival rate and divides the closed-loop think time, so
+    ``((6, 0.2), (3, 4.0))`` is quiet-then-burst."""
+
+    kind: str = "closed"
+    ops_per_process: int = 8
+    write_ratio: float = 0.5
+    hot_key_weight: float = 0.0
+    think: Tuple[float, float] = (0.1, 1.0)
+    rate: float = 1.0
+    phases: Tuple[Tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("closed", "open"):
+            raise ValueError(f"unknown workload kind {self.kind!r}")
+        if any(intensity <= 0 for _d, intensity in self.phases):
+            raise ValueError("phase intensities must be positive")
+
+
+# ----------------------------------------------------------------------
+# The scenario spec
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative fault/workload scenario (see module docstring)."""
+
+    name: str
+    n: int = 3
+    streams: int = 2
+    k: int = 2
+    delay: DelaySpec = field(default_factory=DelaySpec)
+    loss_rate: float = 0.0
+    faults: Tuple[FaultEvent, ...] = ()
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    quiescence_reads: bool = True
+    description: str = ""
+
+    # ------------------------------------------------------------------
+    def fast(self, ops: int = 4) -> "ScenarioSpec":
+        """A shrunk copy for smoke runs: fewer ops, same faults."""
+        workload = replace(
+            self.workload, ops_per_process=min(self.workload.ops_per_process, ops)
+        )
+        return replace(self, workload=workload)
+
+    @property
+    def fault_horizon(self) -> float:
+        """Time of the last scheduled fault (0 when there are none)."""
+        return max((event.time for event in self.faults), default=0.0)
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    def to_json(self, **kwargs: Any) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "ScenarioSpec":
+        d = data.get("delay", {})
+        delay = DelaySpec(
+            kind=d.get("kind", "uniform"),
+            params=tuple(d.get("params", (0.5, 1.5))),
+        )
+        faults = tuple(
+            FaultEvent(
+                time=f["time"],
+                action=f["action"],
+                groups=tuple(tuple(g) for g in f.get("groups", ())),
+                pid=f.get("pid", -1),
+                rate=f.get("rate", 0.0),
+                factor=f.get("factor", 1.0),
+            )
+            for f in data.get("faults", ())
+        )
+        w = data.get("workload", {})
+        workload = WorkloadSpec(
+            kind=w.get("kind", "closed"),
+            ops_per_process=w.get("ops_per_process", 8),
+            write_ratio=w.get("write_ratio", 0.5),
+            hot_key_weight=w.get("hot_key_weight", 0.0),
+            think=tuple(w.get("think", (0.1, 1.0))),
+            rate=w.get("rate", 1.0),
+            phases=tuple(tuple(p) for p in w.get("phases", ())),
+        )
+        return ScenarioSpec(
+            name=data["name"],
+            n=data.get("n", 3),
+            streams=data.get("streams", 2),
+            k=data.get("k", 2),
+            delay=delay,
+            loss_rate=data.get("loss_rate", 0.0),
+            faults=faults,
+            workload=workload,
+            quiescence_reads=data.get("quiescence_reads", True),
+            description=data.get("description", ""),
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "ScenarioSpec":
+        return ScenarioSpec.from_dict(json.loads(text))

@@ -52,6 +52,134 @@ class TestPartitionMechanics:
             return
         raise AssertionError("overlapping partition groups accepted")
 
+    def test_heal_never_loses_held_messages(self):
+        """The documented guarantee — partitions delay, they do not lose:
+        held messages bypass the loss gate entirely on heal, even on a
+        very lossy network."""
+        sim = Simulator(seed=7)
+        net = Network(sim, 2, delay=DelayModel.constant(1.0), loss_rate=0.9)
+        inbox = []
+        net.attach(1, lambda src, p: inbox.append(p))
+        net.partition({0}, {1})
+        for i in range(50):
+            net.send(0, 1, i)
+        sim.run()
+        assert inbox == []
+        net.heal()
+        sim.run()
+        assert sorted(inbox) == list(range(50))  # all 50, zero lost
+        assert net.stats.lost == 0
+
+    def test_heal_delivers_held_messages_in_send_order(self):
+        """With a constant delay, messages held across a partition come
+        out in the order they went in."""
+        sim = Simulator(seed=1)
+        net = Network(sim, 2, delay=DelayModel.constant(1.0))
+        inbox = []
+        net.attach(1, lambda src, p: inbox.append(p))
+        net.partition({0}, {1})
+        for i in range(10):
+            net.send(0, 1, i)
+        net.heal()
+        sim.run()
+        assert inbox == list(range(10))
+
+    def test_repartition_releases_only_reunited_pairs(self):
+        sim = Simulator(seed=2)
+        net = Network(sim, 3, delay=DelayModel.constant(1.0))
+        inboxes = {1: [], 2: []}
+        net.attach(1, lambda src, p: inboxes[1].append(p))
+        net.attach(2, lambda src, p: inboxes[2].append(p))
+        net.partition({0}, {1, 2})
+        net.send(0, 1, "to-1")
+        net.send(0, 2, "to-2")
+        sim.run()
+        assert inboxes == {1: [], 2: []}
+        # regroup: 0 rejoins 1, while 2 is now isolated
+        net.partition({0, 1}, {2})
+        sim.run()
+        assert inboxes[1] == ["to-1"]  # released by the regroup
+        assert inboxes[2] == []  # still separated, still held
+        net.heal()
+        sim.run()
+        assert inboxes[2] == ["to-2"]
+
+    def test_crash_during_partition_drops_only_crashed_deliveries(self):
+        """Messages held for a process that crashes mid-partition are
+        dropped at delivery (crash-stop), not delivered after heal; the
+        other side's held messages still arrive."""
+        sim = Simulator(seed=3)
+        net = Network(sim, 3, delay=DelayModel.constant(1.0))
+        inboxes = {1: [], 2: []}
+        net.attach(1, lambda src, p: inboxes[1].append(p))
+        net.attach(2, lambda src, p: inboxes[2].append(p))
+        net.partition({0}, {1, 2})
+        net.send(0, 1, "a")
+        net.send(0, 2, "b")
+        net.crash(2)
+        net.heal()
+        sim.run()
+        assert inboxes[1] == ["a"]
+        assert inboxes[2] == []
+        assert net.stats.dropped_to_crashed == 1
+
+    def test_recover_restores_membership(self):
+        sim = Simulator(seed=4)
+        net = Network(sim, 2, delay=DelayModel.constant(1.0))
+        inbox = []
+        net.attach(1, lambda src, p: inbox.append(p))
+        net.crash(1)
+        net.send(0, 1, "lost")  # in flight towards a crashed process
+        sim.run()
+        assert inbox == []
+        net.recover(1)
+        net.send(0, 1, "after")
+        sim.run()
+        assert inbox == ["after"]  # the crash-window message stays lost
+
+
+class TestFaultDials:
+    def test_loss_burst_via_set_loss_rate(self):
+        sim = Simulator(seed=5)
+        net = Network(sim, 2, delay=DelayModel.constant(1.0))
+        net.attach(1, lambda src, p: None)
+        net.set_loss_rate(0.99)
+        for _ in range(50):
+            net.send(0, 1, "x")
+        assert net.stats.lost > 0
+        net.set_loss_rate(0.0)
+        lost = net.stats.lost
+        for _ in range(50):
+            net.send(0, 1, "x")
+        assert net.stats.lost == lost  # burst over, no further loss
+
+    def test_delay_spike_scales_delivery_time(self):
+        sim = Simulator(seed=6)
+        net = Network(sim, 2, delay=DelayModel.constant(1.0))
+        times = []
+        net.attach(1, lambda src, p: times.append(sim.now))
+        net.send(0, 1, "fast")
+        net.set_delay_scale(6.0)
+        net.send(0, 1, "slow")
+        sim.run()
+        assert times == [1.0, 6.0]
+
+    def test_invalid_dial_values_rejected(self):
+        sim = Simulator(seed=0)
+        net = Network(sim, 2)
+        for bad in (-0.1, 1.0):
+            try:
+                net.set_loss_rate(bad)
+            except ValueError:
+                continue
+            raise AssertionError(f"loss rate {bad} accepted")
+        try:
+            net.set_delay_scale(0.0)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("zero delay scale accepted")
+
 
 class TestAvailabilityUnderPartition:
     def test_ccv_both_sides_available_and_reconcile(self):

@@ -6,6 +6,7 @@ Props. 3-4 (causal memory) live in ``test_causal_memory.py``; Props. 6-7
 """
 
 import random
+import zlib
 
 import pytest
 from hypothesis import given, settings
@@ -33,7 +34,8 @@ GENERATORS = {
 def test_hierarchy_inclusions_hold_on_random_histories(family):
     """Fig. 1, empirically: no random history may satisfy a stronger
     criterion while failing a weaker one."""
-    rng = random.Random(hash(family) & 0xFFFF)
+    # zlib.crc32 is stable across runs, unlike hash() under PYTHONHASHSEED
+    rng = random.Random(zlib.crc32(family.encode()) & 0xFFFF)
     for _ in range(25):
         history, adt = GENERATORS[family](rng, processes=2, ops_per_process=3)
         verdicts = {
@@ -84,7 +86,7 @@ class TestProposition2:
 
     @pytest.mark.parametrize("family", sorted(GENERATORS))
     def test_cc_implies_pc(self, family):
-        rng = random.Random(hash(family) & 0xFFF)
+        rng = random.Random(zlib.crc32(family.encode()) & 0xFFF)
         witnessed = 0
         for _ in range(25):
             history, adt = GENERATORS[family](rng, processes=2, ops_per_process=3)

@@ -1,0 +1,359 @@
+"""The scenario engine: specs, fault schedules, workloads, matrix runner.
+
+Pins the subsystem's contracts: JSON round trips, fault-schedule
+determinism (same seed, same history), crash/recover with anti-entropy
+state rejoin, open-loop arrivals exposing blocked operations, and the
+matrix runner's verdict aggregation (serial and parallel paths).
+"""
+
+import json
+
+import pytest
+
+from repro.adts import WindowStreamArray
+from repro.algorithms import (
+    CCvWindowArray,
+    CCWindowArray,
+    GenericCCv,
+    ScSequencer,
+)
+from repro.core.operations import Invocation
+from repro.criteria import check
+from repro.runtime import DelayModel, Network, Simulator
+from repro.scenarios import (
+    ALGORITHMS,
+    DelaySpec,
+    FaultEvent,
+    FaultSchedule,
+    PhaseClock,
+    SCENARIOS,
+    Scenario,
+    ScenarioSpec,
+    WorkloadSpec,
+    get_scenario,
+    make_script,
+    run_matrix,
+    scenario_names,
+)
+
+F = FaultEvent
+
+
+class TestSpecRoundTrip:
+    def test_every_builtin_scenario_round_trips_through_json(self):
+        for name in scenario_names():
+            spec = get_scenario(name)
+            again = ScenarioSpec.from_json(spec.to_json())
+            assert again == spec, name
+
+    def test_minimal_dict_fills_defaults(self):
+        spec = ScenarioSpec.from_dict(
+            {"name": "x", "delay": {"kind": "constant", "params": [2.0]}}
+        )
+        assert spec.n == 3 and spec.workload.kind == "closed"
+        assert spec.delay.build().sample(None, 0, 1) == 2.0
+
+    def test_name_only_dict_is_enough(self):
+        spec = ScenarioSpec.from_dict({"name": "bare"})
+        assert spec.delay == DelaySpec()
+
+    def test_fast_shrinks_ops_only(self):
+        spec = get_scenario("rolling-crashes")
+        fast = spec.fast(3)
+        assert fast.workload.ops_per_process == 3
+        assert fast.faults == spec.faults
+
+    def test_unknown_delay_kind_rejected(self):
+        with pytest.raises(ValueError):
+            DelaySpec(kind="quantum").build()
+
+    def test_unknown_workload_kind_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(kind="semi-open")
+
+    def test_unknown_fault_action_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSchedule([FaultEvent(1.0, "meteor")])
+
+
+class TestWorkloads:
+    def test_script_deterministic_per_seed(self):
+        import random
+
+        spec = WorkloadSpec(ops_per_process=20)
+        a = make_script(random.Random(3), spec, 2, pid=0)
+        b = make_script(random.Random(3), spec, 2, pid=0)
+        assert a == b
+
+    def test_write_ratio_extremes(self):
+        import random
+
+        reads = make_script(
+            random.Random(1), WorkloadSpec(ops_per_process=20, write_ratio=0.0), 2, 0
+        )
+        writes = make_script(
+            random.Random(1), WorkloadSpec(ops_per_process=20, write_ratio=1.0), 2, 0
+        )
+        assert all(op.method == "r" for op in reads)
+        assert all(op.method == "w" for op in writes)
+
+    def test_hot_key_skew_concentrates_on_stream_zero(self):
+        import random
+
+        spec = WorkloadSpec(ops_per_process=200, hot_key_weight=0.9)
+        script = make_script(random.Random(5), spec, 8, 0)
+        hot = sum(1 for op in script if op.args[0] == 0)
+        assert hot > 100  # ~0.9 + 1/8 of the rest, vs 25 expected uniform
+
+    def test_phase_clock_cycles(self):
+        clock = PhaseClock(((5.0, 0.25), (2.0, 4.0)))
+        assert clock.intensity(1.0) == 0.25
+        assert clock.intensity(6.0) == 4.0
+        assert clock.intensity(8.0) == 0.25  # wrapped around
+        assert PhaseClock(()).intensity(3.0) == 1.0
+
+
+class TestScenarioRuns:
+    def test_same_seed_same_history(self):
+        """FaultSchedule determinism: a faulted scenario replayed with the
+        same seed yields the identical history and message counts."""
+        scenario = Scenario(get_scenario("churn"))
+        a = scenario.run(CCvWindowArray, seed=11, streams=2, k=2)
+        b = scenario.run(CCvWindowArray, seed=11, streams=2, k=2)
+        assert repr(a.history) == repr(b.history)
+        assert a.network_stats.sent == b.network_stats.sent
+        assert a.duration == b.duration
+
+    def test_different_seed_different_history(self):
+        scenario = Scenario(get_scenario("churn"))
+        a = scenario.run(CCvWindowArray, seed=11, streams=2, k=2)
+        b = scenario.run(CCvWindowArray, seed=12, streams=2, k=2)
+        assert repr(a.history) != repr(b.history)
+
+    def test_crash_pauses_client_and_recover_resumes(self):
+        spec = ScenarioSpec(
+            name="one-crash",
+            n=3,
+            delay=DelaySpec("constant", (1.0,)),
+            faults=(F.crash(2.0, 1), F.recover(10.0, 1)),
+            workload=WorkloadSpec(ops_per_process=6, think=(0.5, 1.5)),
+        )
+        result = Scenario(spec).run(CCvWindowArray, seed=0, streams=2, k=2)
+        # the crashed process finished its script after recovery
+        assert result.issued == result.completed == 18
+        rows = result.recorder.rows
+        crash_gap = [r for r in rows[1] if 2.0 <= r.start < 10.0]
+        assert crash_gap == []  # nothing issued while down
+
+    def test_recovered_replica_rejoins_via_resync(self):
+        """State rejoin: p1 is down while others write; after recovery
+        plus broadcast anti-entropy all replicas expose the same window
+        and the history stays CCv."""
+        spec = ScenarioSpec(
+            name="rejoin",
+            n=3,
+            delay=DelaySpec("constant", (0.5,)),
+            faults=(F.crash(1.0, 1), F.recover(8.0, 1)),
+            workload=WorkloadSpec(ops_per_process=4, write_ratio=1.0),
+        )
+        result = Scenario(spec).run(CCvWindowArray, seed=2, streams=2, k=2)
+        obj = result.algorithm
+        windows = {
+            tuple(obj.window(pid, x) for x in range(2)) for pid in range(3)
+        }
+        assert len(windows) == 1, windows
+        assert check(result.history, WindowStreamArray(2, 2), "CCV").ok
+
+    def test_repair_sweeps_fix_lossy_run(self):
+        """flaky-link's loss burst loses op-based broadcast messages; the
+        scheduled anti-entropy repairs restore convergence."""
+        result = Scenario(get_scenario("flaky-link")).run(
+            CCvWindowArray, seed=0, streams=2, k=2
+        )
+        assert result.network_stats.lost > 0  # the burst actually bit
+        obj = result.algorithm
+        windows = {
+            tuple(obj.window(pid, x) for x in range(2)) for pid in range(4)
+        }
+        assert len(windows) == 1, windows
+
+    def test_straggling_completion_across_crash_keeps_one_chain(self):
+        """A crash/recover window shorter than the round trip: the
+        in-flight operation's completion arrives after the client has
+        already resumed.  It must be ignored (epoch check) — the
+        closed-loop client never runs two issue chains, so recorded
+        operations of each process stay non-overlapping."""
+        spec = ScenarioSpec(
+            name="short-crash",
+            n=2,
+            delay=DelaySpec("constant", (1.0,)),
+            # p1's op issued at t=0 has a ~2-unit round trip; the crash
+            # window [0.5, 1.0] sits entirely inside it
+            faults=(F.crash(0.5, 1), F.recover(1.0, 1)),
+            workload=WorkloadSpec(ops_per_process=4, think=(0.1, 0.2)),
+            quiescence_reads=False,
+        )
+        result = Scenario(spec).run(
+            ScSequencer, seed=0, adt=WindowStreamArray(2, 2)
+        )
+        for row in result.recorder.rows:
+            for prev, cur in zip(row, row[1:]):
+                assert cur.start >= prev.end, (prev, cur)
+
+    def test_open_loop_counts_blocked_operations(self):
+        """Open-loop arrivals do not wait: the sequencer accumulates a
+        visible issued/completed gap while a partition blocks it."""
+        spec = ScenarioSpec(
+            name="open-blocked",
+            n=3,
+            delay=DelaySpec("constant", (1.0,)),
+            faults=(F.partition(1.0, (0,), (1, 2)),),  # never heals
+            workload=WorkloadSpec(kind="open", ops_per_process=5, rate=2.0),
+            quiescence_reads=False,
+        )
+        result = Scenario(spec).run(
+            ScSequencer, seed=1, adt=WindowStreamArray(2, 2)
+        )
+        assert result.blocked > 0
+        wait_free = Scenario(spec).run(CCWindowArray, seed=1, streams=2, k=2)
+        assert wait_free.blocked == 0
+
+    def test_quiescence_reads_follow_spec(self):
+        spec = ScenarioSpec(
+            name="qreads",
+            n=2,
+            workload=WorkloadSpec(ops_per_process=2, write_ratio=1.0),
+            quiescence_reads=True,
+            streams=2,
+        )
+        result = Scenario(spec).run(CCvWindowArray, seed=0, streams=2, k=2)
+        assert len(result.stable) == 2 * 2  # one read per stream per process
+        assert result.ops == 2 * 2 + 4
+
+
+class TestMatrixRunner:
+    def test_serial_and_parallel_agree(self):
+        kwargs = dict(
+            scenarios=["partition-during-writes"],
+            algorithms=["cc-fig4", "sc-sequencer"],
+            seeds=2,
+            fast=True,
+        )
+        serial = run_matrix(jobs=1, **kwargs)
+        parallel = run_matrix(jobs=2, **kwargs)
+        assert serial.ok and parallel.ok
+        key = lambda c: (c.scenario, c.algorithm, c.seed)
+        for a, b in zip(
+            sorted(serial.cells, key=key), sorted(parallel.cells, key=key)
+        ):
+            assert (a.ok, a.blocked, a.ops, a.mean_latency) == (
+                b.ok,
+                b.blocked,
+                b.ops,
+                b.mean_latency,
+            )
+
+    def test_sc_flagged_non_wait_free_under_partition(self):
+        report = run_matrix(
+            scenarios=["partition-minority"],
+            algorithms=["sc-sequencer", "ccv-fig5"],
+            seeds=1,
+            jobs=1,
+            fast=True,
+        )
+        flagged = {(c.scenario, c.algorithm) for c in report.non_wait_free_flagged()}
+        assert ("partition-minority", "sc-sequencer") in flagged
+        ccv = [c for c in report.cells if c.algorithm == "ccv-fig5"]
+        assert all(c.mean_latency == 0.0 and c.ok for c in ccv)
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(KeyError):
+            run_matrix(scenarios=["no-such-scenario"], seeds=1, jobs=1)
+        with pytest.raises(KeyError):
+            run_matrix(algorithms=["no-such-algorithm"], seeds=1, jobs=1)
+
+    def test_report_json_round_trips(self):
+        report = run_matrix(
+            scenarios=["hot-key-contention"],
+            algorithms=["cc-fig4"],
+            seeds=1,
+            jobs=1,
+            fast=True,
+        )
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["ok"] is True
+        assert data["cells"][0]["algorithm"] == "cc-fig4"
+
+    def test_every_algorithm_entry_is_well_formed(self):
+        for key, entry in ALGORITHMS.items():
+            assert entry.key == key
+            assert entry.criterion in ("CC", "CCV", "PC", "SC", "CONV")
+
+
+class TestScenarioHistorySource:
+    def test_generator_is_deterministic_and_classifiable(self):
+        from repro.litmus.generators import scenario_window_history
+
+        h1, adt = scenario_window_history("churn", "ccv-fig5", seed=3)
+        h2, _ = scenario_window_history("churn", "ccv-fig5", seed=3)
+        assert repr(h1) == repr(h2)
+        assert check(h1, adt, "CCV").ok
+
+    def test_gossip_source_actually_gossips(self):
+        """The generator must start the gossip engine (like the matrix
+        runner does): remote writes become visible in local reads."""
+        from repro.litmus.generators import scenario_window_history
+
+        history, adt = scenario_window_history(
+            "quiet-then-burst", "gossip", seed=2, fast_ops=4
+        )
+        seen_values = {
+            value
+            for event in history
+            if event.invocation.method == "r"
+            for value in event.output
+        }
+        # values are pid*1000 + i: reads expose writes from >1 process
+        assert len({v // 1_000 for v in seen_values if v}) > 1
+
+    def test_hierarchy_population_accepts_scenario_histories(self):
+        from repro.analysis import classify_population
+
+        report = classify_population(
+            seed=1, random_histories=0, include_litmus=False,
+            scenario_histories=4,
+        )
+        assert report.histories == 4
+        assert report.inclusion_violations == []
+
+
+class TestExploreCli:
+    def test_explore_smoke(self, capsys):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "explore",
+                "--scenario",
+                "partition-during-writes",
+                "--algorithm",
+                "cc-fig4",
+                "--fast",
+                "--seeds",
+                "1",
+                "--jobs",
+                "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "partition-during-writes" in out and "ok 1/1" in out
+
+    def test_explore_list(self, capsys):
+        from repro.cli import main
+
+        rc = main(["explore", "--list"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in scenario_names():
+            assert name in out
