@@ -56,6 +56,8 @@ def test_search_work_counters():
         "propagate_steps",
         "total_orders",
         "orders_pruned",
+        "conflict_cuts",
+        "shards",
     )
     lines = ["criterion  " + "  ".join(f"{k:>15s}" for k in keys)]
     for criterion in ("WCC", "CC", "CCV"):

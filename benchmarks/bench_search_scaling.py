@@ -131,6 +131,7 @@ def run_sweep(
     seed: int,
     max_nodes: int,
     verify: bool,
+    jobs: Optional[int] = None,
 ) -> List[Dict[str, Any]]:
     cases: List[Dict[str, Any]] = []
     for name, processes, ops, density, count in sweep:
@@ -150,14 +151,19 @@ def run_sweep(
                 "memo_hits": 0,
                 "propagate_steps": 0,
                 "orders_pruned": 0,
+                "conflict_cuts": 0,
+                "shards": 0,
                 "total_orders_tried": 0,
             }
             budget_exceeded = 0
+            # per-shard breakdown of the case's most-sharded history
+            # (the interesting one: where the parallel split actually bites)
+            shard_detail: List[Dict[str, int]] = []
             t0 = time.perf_counter()
             for history, adt in population:
                 try:
                     certificate, stats = search_causal_order(
-                        history, adt, mode, max_nodes=max_nodes
+                        history, adt, mode, max_nodes=max_nodes, jobs=jobs
                     )
                 except SearchBudgetExceeded:
                     budget_exceeded += 1
@@ -168,29 +174,33 @@ def run_sweep(
                     certificates.append((history, adt, certificate))
                 for key in counters:
                     counters[key] += _stat(stats, key)
+                per_shard = getattr(stats, "per_shard", None)
+                if per_shard and len(per_shard) > len(shard_detail):
+                    shard_detail = per_shard
             wall = time.perf_counter() - t0
             if verify:
                 for history, adt, certificate in certificates:
                     verify_certificate(history, adt, certificate)
             checks = counters["event_checks"]
             hits = counters["memo_hits"]
-            cases.append(
-                {
-                    "config": name,
-                    "events": processes * ops,
-                    "processes": processes,
-                    "update_prob": density,
-                    "mode": mode,
-                    "histories": count,
-                    "wall_s": round(wall, 6),
-                    "verdicts": verdicts,
-                    "budget_exceeded": budget_exceeded,
-                    "memo_hit_rate": round(hits / (hits + checks), 4)
-                    if (hits + checks)
-                    else 0.0,
-                    **counters,
-                }
-            )
+            case: Dict[str, Any] = {
+                "config": name,
+                "events": processes * ops,
+                "processes": processes,
+                "update_prob": density,
+                "mode": mode,
+                "histories": count,
+                "wall_s": round(wall, 6),
+                "verdicts": verdicts,
+                "budget_exceeded": budget_exceeded,
+                "memo_hit_rate": round(hits / (hits + checks), 4)
+                if (hits + checks)
+                else 0.0,
+                **counters,
+            }
+            if mode == "CCV" and shard_detail:
+                case["per_shard"] = shard_detail
+            cases.append(case)
     return cases
 
 
@@ -201,12 +211,20 @@ def geomean(ratios: List[float]) -> float:
 def compare_to_baseline(
     cases: List[Dict[str, Any]], baseline: Dict[str, Any]
 ) -> Tuple[Dict[str, Any], int]:
-    """Verdict equivalence + per-mode speedups versus a stored run."""
+    """Verdict equivalence + per-mode speedups versus a stored run.
+
+    A verdict of ``None`` records *budget exhaustion*, not an answer, so
+    a new run that decides a previously budget-exceeded history is an
+    improvement ("newly decided"), not a mismatch; the regression
+    directions — flipping a decided verdict, or failing to decide what
+    the baseline decided — still fail the comparison.
+    """
     old_by_key = {
         (c["config"], c["mode"]): c for c in baseline.get("cases", [])
     }
     mismatches = 0
     skipped = 0
+    newly_decided = 0
     speedups: Dict[str, List[float]] = {mode: [] for mode in MODES}
     for case in cases:
         old = old_by_key.get((case["config"], case["mode"]))
@@ -217,17 +235,24 @@ def compare_to_baseline(
             # verdict lists nor the wall-times are comparable
             skipped += 1
             continue
-        if old["verdicts"] != case["verdicts"]:
+        for old_v, new_v in zip(old["verdicts"], case["verdicts"]):
+            if old_v == new_v:
+                continue
+            if old_v is None and new_v is not None:
+                newly_decided += 1
+                continue
             mismatches += 1
             print(
                 f"VERDICT MISMATCH {case['config']}/{case['mode']}: "
                 f"{old['verdicts']} -> {case['verdicts']}",
                 file=sys.stderr,
             )
+            break
         if case["wall_s"] > 0 and old["wall_s"] > 0:
             speedups[case["mode"]].append(old["wall_s"] / case["wall_s"])
     summary = {
         "verdict_mismatches": mismatches,
+        "newly_decided": newly_decided,
         "incomparable_cases_skipped": skipped,
         "geomean_speedup": {
             mode: round(geomean(rs), 3) for mode, rs in speedups.items() if rs
@@ -236,7 +261,9 @@ def compare_to_baseline(
     return summary, mismatches
 
 
-def litmus_verdicts(max_nodes: int) -> Dict[str, Dict[str, bool]]:
+def litmus_verdicts(
+    max_nodes: int, jobs: Optional[int] = None
+) -> Dict[str, Dict[str, bool]]:
     """Classify the full litmus gallery in all three modes (equivalence
     anchor: these verdicts must never change across perf PRs)."""
     from repro.litmus import all_litmus
@@ -247,7 +274,8 @@ def litmus_verdicts(max_nodes: int) -> Dict[str, Dict[str, bool]]:
         row = {}
         for mode in MODES:
             certificate, _ = search_causal_order(
-                litmus.history, litmus.adt, mode, max_nodes=max_nodes
+                litmus.history, litmus.adt, mode, max_nodes=max_nodes,
+                jobs=jobs,
             )
             if certificate is not None:
                 verify_certificate(litmus.history, litmus.adt, certificate)
@@ -261,6 +289,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--smoke", action="store_true", help="small CI sweep")
     parser.add_argument("--seed", type=int, default=2016)
     parser.add_argument("--max-nodes", type=int, default=500_000)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the sharded CCv search (0 = host-sized; "
+        "default/1 = in-process; verdicts and counters are identical at "
+        "any count, so --baseline comparisons work in both modes)",
+    )
     parser.add_argument(
         "--out", default=str(_ROOT / "BENCH_search.json"), help="JSON output"
     )
@@ -280,10 +316,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    from repro.criteria.causal_parallel import resolve_jobs
+
+    args.jobs = resolve_jobs(args.jobs)
     sweep = SMOKE_SWEEP if args.smoke else FULL_SWEEP
     started = time.perf_counter()
-    cases = run_sweep(sweep, args.seed, args.max_nodes, not args.no_verify)
-    litmus = litmus_verdicts(args.max_nodes)
+    cases = run_sweep(
+        sweep, args.seed, args.max_nodes, not args.no_verify, jobs=args.jobs
+    )
+    litmus = litmus_verdicts(args.max_nodes, jobs=args.jobs)
     elapsed = time.perf_counter() - started
 
     per_mode_wall = {
@@ -291,9 +332,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         for mode in MODES
     }
     report: Dict[str, Any] = {
-        "schema": 1,
+        "schema": 2,
         "smoke": args.smoke,
         "seed": args.seed,
+        "jobs": args.jobs or 1,
         "timestamp": time.time(),
         "cases": cases,
         "litmus": litmus,

@@ -173,6 +173,8 @@ _WORK_COUNTERS = (
     ("propagate_steps", "prop"),
     ("total_orders", "orders"),
     ("orders_pruned", "pruned"),
+    ("conflict_cuts", "cut"),
+    ("shards", "shards"),
 )
 
 
@@ -223,9 +225,17 @@ def cmd_classify(args: argparse.Namespace) -> int:
         spec = json.load(fh)
     history, adt, criteria = load_history(spec)
     print(f"history: {history}")
+    from .criteria.causal_parallel import resolve_jobs
+
+    args.jobs = resolve_jobs(args.jobs)
     rows = []
     for criterion in criteria:
-        result = check(history, adt, criterion)
+        kwargs = (
+            {"jobs": args.jobs}
+            if args.jobs and criterion in ("WCC", "CC", "CCV")
+            else {}
+        )
+        result = check(history, adt, criterion, **kwargs)
         rows.append(
             [
                 criterion,
@@ -278,6 +288,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("classify", help="classify a JSON history file")
     p.add_argument("file")
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the sharded CCv search "
+        "(0 = host-sized; default/1 = in-process; verdicts, certificates "
+        "and work counters are identical at any count)",
+    )
     p.set_defaults(fn=cmd_classify)
 
     p = sub.add_parser(

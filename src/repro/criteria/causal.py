@@ -13,6 +13,8 @@ all written values are distinct (Props. 3–4, see
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..core.adt import AbstractDataType
 from ..core.history import History
 from .base import CheckResult, register
@@ -21,10 +23,20 @@ from .causal_search import search_causal_order
 
 @register("CC")
 def check_causal(
-    history: History, adt: AbstractDataType, max_nodes: int = 200_000
+    history: History,
+    adt: AbstractDataType,
+    max_nodes: int = 200_000,
+    jobs: Optional[int] = None,
 ) -> CheckResult:
-    """Decide ``H ∈ CC(T)`` by causal-order search."""
-    certificate, stats = search_causal_order(history, adt, "CC", max_nodes=max_nodes)
+    """Decide ``H ∈ CC(T)`` by causal-order search.
+
+    ``jobs`` is accepted for interface uniformity with the CCv checker;
+    CC quantifies over causal orders only (one family search, no
+    total-order enumeration), so there is nothing to shard.
+    """
+    certificate, stats = search_causal_order(
+        history, adt, "CC", max_nodes=max_nodes, jobs=jobs
+    )
     result_stats = {
         "families": stats.families_explored,
         "event_checks": stats.event_checks,

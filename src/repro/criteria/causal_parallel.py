@@ -1,0 +1,326 @@
+"""Wave driver for the sharded CCv total-order search.
+
+The CCv enumeration over total update orders is embarrassingly parallel:
+:func:`repro.util.orders.shard_prefixes` splits the order space into
+disjoint prefix subtrees whose concatenation reproduces the sequential
+enumeration, and each shard runs its own :meth:`CausalSearch.run_shard`
+with private memos (dropping cross-shard cache sharing; the cross-*order*
+caches inside one shard do the heavy lifting).  This module schedules the
+shards and merges the outcomes:
+
+- **Waves.**  Shards are processed in fixed-size waves (``_WAVE`` — a
+  constant, deliberately *not* a function of ``jobs``).  ``jobs > 1``
+  maps a wave over a shared ``multiprocessing`` pool, reusing the
+  picklable-job/aggregation pattern of :mod:`repro.scenarios.matrix`;
+  ``jobs = 1`` consumes the identical wave lazily in-process.
+
+- **Conflict-set exchange.**  At each wave boundary the driver collects
+  the failure signatures the wave's shards exported (small pair-bitmask
+  integers, most general first) and hands the pool the accumulated set as
+  ``imported_sigs`` for the next wave: a dead end learned in one shard
+  prunes sibling orders in every later shard.  Signatures are properties
+  of the (history, ADT) instance, so importing them is sound no matter
+  where they were learned.
+
+- **Deterministic tie-break.**  Outcomes are judged in shard order (=
+  sequential enumeration order).  The first certificate in that order is
+  the certificate the sequential engine finds, because the conflict cut
+  only skips provably failing orders.
+
+- **Budget accounting.**  The sequential engine budgets *cumulatively*:
+  families across all orders, orders across the whole enumeration.  The
+  driver replays both budgets over the per-shard tallies in shard order —
+  a success only counts if the cumulative work reaching it stays within
+  budget, and exhaustion raises :class:`SearchBudgetExceeded` exactly
+  when the sequential cumulative counters would have tripped.  Each
+  wave's workers additionally receive only the *remaining* family budget
+  (known exactly at the wave boundary in every mode), bounding
+  speculative overshoot to one wave.
+
+Worker count changes nothing observable.  Verdicts and certificates are
+bit-identical at every ``jobs`` by the soundness of the cut plus the
+ordered judge, and merged stats cover exactly the shards up to the
+witness (or the budget trip) in shard order: the lazy in-process path
+never executes anything past that point — like the sequential engine,
+it stops at its witness — while a pool may have run wave-mates
+speculatively, whose outcomes are then discarded unseen.  A raised
+:class:`SearchBudgetExceeded` carries no stats at all.
+
+Workers receive self-contained picklable jobs (history + ADT are a few
+hundred bytes) so the shared pool survives across searches — fork cost is
+paid once per process, not once per history — and the driver also works
+under spawn-only start methods.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..util.orders import count_linear_extensions, shard_prefixes
+from .causal_search import (
+    CausalCertificate,
+    CausalSearch,
+    SearchBudgetExceeded,
+    ShardOutcome,
+)
+
+#: shards per signature-exchange wave (jobs-independent so that worker
+#: count never changes what is learned where)
+_WAVE = 4
+
+#: aim for this many prefix shards (one level of expansion usually lands
+#: between _SHARD_TARGET and m shards)
+_SHARD_TARGET = 8
+
+#: instances whose refined order space is at most this many total orders
+#: run as a single in-process shard: pool dispatch would dominate
+_SINGLE_SHARD_MAX_ORDERS = 32
+
+#: cap on the accumulated cross-shard conflict set handed to workers
+_SIG_IMPORT_CAP = 64
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _shard_worker(job: Tuple) -> ShardOutcome:
+    """Run one prefix shard in a fresh search instance (picklable in,
+    picklable out; also the in-process executor for ``jobs=1``).
+
+    The driver ships the already-computed initial family so workers skip
+    the whole-history closure + semantic seeding — identical for every
+    shard of a history — and shard stats count search work only."""
+    (
+        history,
+        adt,
+        max_nodes,
+        max_total_orders,
+        seed_semantic,
+        conflict_cut,
+        family0,
+        prefix,
+        imported_sigs,
+        index,
+    ) = job
+    search = CausalSearch(
+        history,
+        adt,
+        "CCV",
+        max_nodes=max_nodes,
+        max_total_orders=max_total_orders,
+        seed_semantic=seed_semantic,
+        conflict_cut=conflict_cut,
+    )
+    return search.run_shard(
+        prefix=prefix,
+        imported_sigs=imported_sigs,
+        index=index,
+        family0=family0,
+    )
+
+
+_POOLS: Dict[int, multiprocessing.pool.Pool] = {}
+
+
+def _shared_pool(jobs: int) -> multiprocessing.pool.Pool:
+    """A lazily created, process-wide pool per worker count.
+
+    Reused across searches (a CCv sweep runs hundreds) so fork cost is
+    paid once; ``fork`` is preferred where available, matching the matrix
+    runner, but jobs are self-contained so spawn works too.
+    """
+    pool = _POOLS.get(jobs)
+    if pool is None:
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        pool = ctx.Pool(processes=jobs)
+        _POOLS[jobs] = pool
+    return pool
+
+
+def _close_pools() -> None:
+    while _POOLS:
+        _, pool = _POOLS.popitem()
+        pool.terminate()
+        pool.join()
+
+
+atexit.register(_close_pools)
+
+
+def _wave_outcomes(payloads: List[Tuple], jobs: int) -> Iterator[ShardOutcome]:
+    """Execute one wave: concurrently over the pool, lazily in-process.
+
+    Both paths yield outcomes in shard order, which is all the driver's
+    determinism needs.  In-process, an unconsumed shard never executes
+    (the budget replay raised, or the witness was found).  Over the pool,
+    ``imap`` (not ``map``) lets the driver stop waiting as soon as the
+    witnessing shard and its predecessors are in, instead of stalling on
+    the slowest wave-mate whose outcome would be discarded anyway.
+    """
+    if jobs > 1 and len(payloads) > 1:
+        yield from _shared_pool(jobs).imap(
+            _shard_worker, payloads, chunksize=1
+        )
+    else:
+        for payload in payloads:
+            yield _shard_worker(payload)
+
+
+# ----------------------------------------------------------------------
+# Driver side
+# ----------------------------------------------------------------------
+def _shard_summary(outcome: ShardOutcome, prefix_len: int) -> Dict[str, int]:
+    return {
+        "shard": outcome.index,
+        "prefix_len": prefix_len,
+        "orders": outcome.orders_tried,
+        "families": outcome.families,
+        "conflict_cuts": outcome.stats.conflict_cuts,
+        "memo_hits": outcome.stats.memo_hits,
+        "found": int(outcome.certificate is not None),
+    }
+
+
+def run_ccv_sharded(
+    search: CausalSearch, jobs: int = 1
+) -> Optional[CausalCertificate]:
+    """Decide CCv for ``search`` by sharded total-order enumeration.
+
+    Merges all shard stats into ``search.stats`` (counters summed, never
+    overwritten) and attaches the per-shard breakdown as
+    ``search.stats.per_shard``.
+    """
+    family0 = search._initial_family()
+    if family0 is None:
+        return None
+    induced = [family0[u] for u in search.updates]
+
+    # small order spaces: one in-process shard on the caller's own
+    # instance (no pool, and its memos stay inspectable); the rule
+    # depends only on the instance, never on ``jobs``
+    if (
+        count_linear_extensions(induced, cap=_SINGLE_SHARD_MAX_ORDERS)
+        <= _SINGLE_SHARD_MAX_ORDERS
+    ):
+        outcome = search.run_shard(family0=family0)
+        search.stats.per_shard = [_shard_summary(outcome, 0)]
+        certificate, _, _ = _judge(search, outcome, 0, 0)
+        return certificate
+
+    prefixes, prefix_pruned = shard_prefixes(
+        induced, base=search.upd_po, target=_SHARD_TARGET
+    )
+    search.stats.orders_pruned += prefix_pruned
+    imported: List[int] = []
+    imported_set = set()
+    per_shard: List[Dict[str, int]] = []
+    cum_orders = 0
+    cum_families = 0
+    certificate: Optional[CausalCertificate] = None
+    found = False
+    for wave_start in range(0, len(prefixes), _WAVE):
+        wave = prefixes[wave_start : wave_start + _WAVE]
+        remaining = search.max_nodes - cum_families
+        payloads = [
+            (
+                search.history,
+                search.adt,
+                remaining,
+                search.max_total_orders,
+                search.seed_semantic,
+                search.conflict_cut,
+                tuple(family0),
+                prefix,
+                tuple(imported),
+                wave_start + i,
+            )
+            for i, prefix in enumerate(wave)
+        ]
+        outcomes: List[ShardOutcome] = []
+        for oc, prefix in zip(_wave_outcomes(payloads, jobs), wave):
+            outcomes.append(oc)
+            search.stats.merge(oc.stats)
+            per_shard.append(_shard_summary(oc, len(prefix)))
+            result, cum_orders, cum_families = _judge(
+                search, oc, cum_orders, cum_families
+            )
+            if result is not None:
+                certificate = result
+                found = True
+                # stop consuming: in-process, the rest of the wave never
+                # executes (the sequential engine stops at its witness);
+                # a pool ran the wave-mates concurrently, but their
+                # outcomes are discarded, so observable stats stay
+                # bit-identical at every worker count
+                break
+        if found:
+            break
+        # wave boundary: pool the newly learned signatures for the next
+        # wave's workers (most general first, capped, deduplicated)
+        for oc in outcomes:
+            for sig in oc.exported_sigs:
+                if sig not in imported_set and len(imported) < _SIG_IMPORT_CAP:
+                    imported.append(sig)
+                    imported_set.add(sig)
+    search.stats.per_shard = per_shard
+    if not found and cum_orders >= search.max_total_orders:
+        raise SearchBudgetExceeded(
+            f"more than {search.max_total_orders} total update orders"
+        )
+    return certificate
+
+
+def _judge(
+    search: CausalSearch,
+    outcome: ShardOutcome,
+    cum_orders: int,
+    cum_families: int,
+) -> Tuple[Optional[CausalCertificate], int, int]:
+    """Fold one shard into the sequential cumulative budget replay.
+
+    Returns ``(certificate, cum_orders, cum_families)`` — certificate is
+    non-None when this shard holds the (deterministically first) witness
+    and the cumulative work reaching it stayed within budget; raises
+    :class:`SearchBudgetExceeded` exactly where the sequential cumulative
+    counters would have tripped before any witness.
+    """
+    if outcome.certificate is not None:
+        orders_at = cum_orders + (outcome.orders_at_success or 0)
+        families_at = cum_families + (outcome.families_at_success or 0)
+        if families_at > search.max_nodes:
+            raise SearchBudgetExceeded(
+                f"explored more than {search.max_nodes} causal-past families"
+            )
+        if orders_at > search.max_total_orders:
+            raise SearchBudgetExceeded(
+                f"more than {search.max_total_orders} total update orders"
+            )
+        return outcome.certificate, cum_orders, cum_families
+    cum_orders += outcome.orders_tried
+    cum_families += outcome.families
+    if outcome.budget_exceeded or cum_families > search.max_nodes:
+        raise SearchBudgetExceeded(
+            f"explored more than {search.max_nodes} causal-past families"
+        )
+    if cum_orders >= search.max_total_orders:
+        raise SearchBudgetExceeded(
+            f"more than {search.max_total_orders} total update orders"
+        )
+    return None, cum_orders, cum_families
+
+
+def default_jobs() -> int:
+    """Host-sized worker count for CLI ``--jobs 0`` conveniences."""
+    return max(1, os.cpu_count() or 1)
+
+
+def resolve_jobs(jobs: Optional[int]) -> Optional[int]:
+    """Resolve a CLI ``--jobs`` value: ``0`` means host-sized, anything
+    else (including ``None``) passes through unchanged."""
+    return default_jobs() if jobs == 0 else jobs

@@ -78,6 +78,52 @@ WCC/CC unit checks additionally share one ``solve_cache`` across the
 whole search (see :mod:`repro.criteria.engine`): linearisation problems
 are memoised by semantic signature, successes included, where previously
 only per-problem dead ends were remembered.
+
+Cross-order branch cache
+------------------------
+The K1–K3 closure of a branch (``family + one update bit``) and its K4
+acceptance are *independent of the total order*: only the final K5 test
+consults the rank.  :meth:`CausalSearch._close` therefore separates the
+rank-free part — worklist closure, K4, and the **K5 requirement mask**,
+the set of directed update pairs ``(v, u)`` (encoded as bits ``v·m + u``
+of one integer) that the closed family needs the total order to contain
+— from the rank test, and ``_dfs`` memoises ``(family, event, update) →
+(closed child, requirement mask)`` across total orders.  Under a new
+order a previously-seen branch costs one dictionary hit plus one AND
+against the order's *violation mask* (the pairs the order reverses),
+instead of a full closure.
+
+Conflict-driven cut
+-------------------
+A per-order DFS consults the total order only through (i) K5 requirement
+masks, (ii) the branch pre-checks in ``_dfs`` and (iii) the sorted update
+sequences of checked rows.  Recording every consulted directed pair
+(again as a pair bitmask) while an order's DFS runs yields, when the DFS
+dead-ends, a **failure signature**: any total order that agrees with
+every recorded pair drives the DFS through the identical failing
+execution — unit verdicts depend only on the ordered past sequences, K5
+decisions only on the consulted comparisons — so it can be pruned
+without being searched.  Sibling orders are tested against the learned
+signatures with a single AND (``signature & violation-mask == 0`` ⇔ the
+order agrees), which is the conflict-driven cut: the signature names
+exactly the update pairs whose relative order caused the dead end.
+Soundness is regression-tested by re-running pruned orders against the
+un-cut reference engine in ``tests/test_search_perf.py``.
+
+Sharded enumeration
+-------------------
+The total-order space is partitioned into disjoint prefix shards
+(:func:`repro.util.orders.shard_prefixes`) processed in fixed *waves*;
+``jobs > 1`` maps a wave onto a ``multiprocessing`` pool (the pattern of
+``scenarios/matrix.py``), ``jobs = 1`` runs the same waves in-process.
+Shard structure, per-shard signature learning and the wave-boundary
+signature exchange are all independent of ``jobs``, so verdicts,
+certificates *and* every stats counter are bit-identical at any worker
+count; the first certificate in shard order equals the sequential
+engine's because the shards concatenate to the unsharded enumeration
+order and the cut only skips provably failing orders.  See
+:mod:`repro.criteria.causal_parallel` for the wave driver and the
+budget-accounting rules that mirror the cumulative sequential budgets.
 """
 
 from __future__ import annotations
@@ -129,7 +175,14 @@ class SearchStats:
     shared linearisation solve-cache) instead of running the engine;
     ``propagate_steps`` counts worklist pops of the incremental closure;
     ``orders_pruned`` counts total-order prefixes cut by lazy refinement
-    before enumeration (CCv only).
+    before enumeration (CCv only); ``conflict_cuts`` counts whole total
+    orders skipped because they agreed with a learned failure signature;
+    ``shards`` counts the prefix shards the enumeration was split into.
+
+    A sharded search produces one ``SearchStats`` per shard; the driver
+    sums them with :meth:`merge` (every counter is additive — nothing is
+    last-writer-wins) and attaches the per-shard breakdown under
+    :attr:`per_shard` for benchmark reporting.
     """
 
     families_explored: int = 0
@@ -139,10 +192,69 @@ class SearchStats:
     memo_hits: int = 0
     propagate_steps: int = 0
     orders_pruned: int = 0
+    conflict_cuts: int = 0
+    shards: int = 0
+    per_shard: Optional[List[Dict[str, int]]] = None
+
+    _COUNTERS = (
+        "families_explored",
+        "event_checks",
+        "lin_nodes",
+        "total_orders_tried",
+        "memo_hits",
+        "propagate_steps",
+        "orders_pruned",
+        "conflict_cuts",
+        "shards",
+    )
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate another shard's counters into this instance."""
+        for name in self._COUNTERS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+@dataclass
+class ShardOutcome:
+    """Picklable result of one CCv prefix shard.
+
+    ``orders_tried`` counts the orders the shard's enumerator yielded
+    (conflict-cut ones included — they consume order budget exactly as
+    they would sequentially); ``families`` the families its DFS explored;
+    the ``*_at_success`` fields are the shard-local positions of the
+    witnessing order (``None`` on failure) so the driver can replay the
+    cumulative sequential budget checks; ``exported_sigs`` are the most
+    general failure signatures learned, offered to later waves.
+    """
+
+    index: int
+    certificate: Optional[CausalCertificate]
+    orders_tried: int
+    families: int
+    orders_at_success: Optional[int]
+    families_at_success: Optional[int]
+    budget_exceeded: bool
+    stats: SearchStats
+    exported_sigs: Tuple[int, ...]
+
+
+#: learned-signature bounds: per-shard learning stops at ``_SIG_CAP``
+#: entries (the scan per order is one AND per signature); at most
+#: ``_SIG_EXPORT_CAP`` signatures — most general (fewest pairs) first —
+#: travel back through the pool for the cross-shard exchange.
+_SIG_CAP = 512
+_SIG_EXPORT_CAP = 24
+
+_NO_ENTRY = object()
 
 
 class CausalSearch:
-    """One search instance per (history, adt, mode)."""
+    """One search instance per (history, adt, mode).
+
+    ``conflict_cut`` / ``cross_order_caching`` gate the failure-signature
+    pruning and the rank-free branch cache; both default on and are only
+    disabled by reference oracles (tests) and ablation benchmarks.
+    """
 
     def __init__(
         self,
@@ -152,6 +264,8 @@ class CausalSearch:
         max_nodes: int = 200_000,
         max_total_orders: int = 50_000,
         seed_semantic: bool = True,
+        conflict_cut: bool = True,
+        cross_order_caching: bool = True,
     ) -> None:
         if mode not in ("WCC", "CC", "CCV"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -161,6 +275,17 @@ class CausalSearch:
         self.max_nodes = max_nodes
         self.max_total_orders = max_total_orders
         self.seed_semantic = seed_semantic
+        # the cut's failure signatures are built from the consult
+        # bookkeeping of the *cached* DFS path; the reference path keeps
+        # no consults, so the cut must never run without the cache
+        # (under-constrained signatures could prune a witnessing order)
+        self._use_cache = cross_order_caching and mode == "CCV"
+        self.conflict_cut = (
+            conflict_cut and self._use_cache
+        )
+        #: when a test sets this to a list, every conflict-cut order is
+        #: appended to it (the soundness harness re-runs them un-cut)
+        self.cut_log: Optional[List[Tuple[int, ...]]] = None
         self.stats = SearchStats()
 
         self.n = len(history)
@@ -209,15 +334,42 @@ class CausalSearch:
             ]
         else:
             self.units = [(-1, e) for e in range(self.n)]
-        # memoisation: constraint-key -> (ok, linearisation).  For CCv the
-        # key is (event, ordered update tuple) and the memo deliberately
-        # survives across total orders.
+        # memoisation: constraint-key -> (ok, linearisation).  For CCv
+        # the memo is one dict per event keyed by the ordered update
+        # tuple of the past, and deliberately survives across total
+        # orders; WCC/CC use composite keys in one shared dict.
         self._event_memo: Dict[object, Tuple[bool, Optional[Tuple[int, ...]]]] = {}
-        self._visited: Set[Tuple[int, ...]] = set()
+        self._ccv_memo: List[
+            Dict[Tuple[int, ...], Tuple[bool, Optional[Tuple[int, ...]]]]
+        ] = [{} for _ in range(self.n)] if mode == "CCV" else []
+        # row-mask -> update positions, shared across total orders (the
+        # rank only affects their sort order, not the membership)
+        self._row_bits: Dict[int, List[int]] = {}
+        # family -> consult mask of its failed subtree (0 outside CCv);
+        # doubles as the visited set of one order's DFS
+        self._visited: Dict[Tuple[int, ...], int] = {}
         self._total_rank: Optional[List[int]] = None  # CCv only
-        # row-mask -> rank-sorted update tuple, valid for one total order
-        self._seq_cache: Dict[int, Tuple[int, ...]] = {}
+        # row-mask -> (rank-sorted update tuple, consistent-pair mask),
+        # valid for one total order
+        self._seq_cache: Dict[int, Tuple[Tuple[int, ...], int]] = {}
         self._last_lin: Optional[Tuple[int, ...]] = None
+        # directed update pairs as bits of one integer: pair (v, u) --
+        # "v strictly before u" -- lives at bit v*m + u.  _pair[v][u] is
+        # the singleton mask; _vmask is the current order's *violated*
+        # pairs; _consulted accumulates the pairs the running DFS subtree
+        # depended on (the raw material of failure signatures).
+        m = self.m
+        self._pair: List[List[int]] = [
+            [1 << (v * m + u) if v != u else 0 for u in range(m)]
+            for v in range(m)
+        ]
+        self._vmask = 0
+        self._consulted = 0
+        # cross-order branch cache: family -> {event*m+update ->
+        # (closed child, K5 requirement mask) | None on K4 failure}
+        self._branch_cache: Dict[
+            Tuple[int, ...], Dict[int, Optional[Tuple[Tuple[int, ...], int]]]
+        ] = {}
         # shared caches (per search): semantic linearisation problems and
         # CCv replay prefixes (ordered update-position tuple -> state)
         self._solve_cache: Dict[object, Optional[Tuple[int, ...]]] = {}
@@ -226,48 +378,151 @@ class CausalSearch:
         }
 
     # ------------------------------------------------------------------
-    # Entry point
+    # Entry points
     # ------------------------------------------------------------------
-    def run(self) -> Optional[CausalCertificate]:
-        family0 = self._initial_family()
-        if family0 is None:
-            return None
+    def run(self, jobs: int = 1) -> Optional[CausalCertificate]:
+        """Decide membership; ``jobs`` shards the CCv total-order
+        enumeration over that many worker processes (1 = in-process; the
+        answer, certificate and stats are identical either way)."""
         if self.mode != "CCV":
-            result = self._dfs(family0)
+            # WCC/CC quantify over causal orders only: one family search,
+            # nothing to shard
+            family0 = self._initial_family()
+            if family0 is None:
+                return None
+            result = self._dfs(tuple(family0))
             if result is None:
                 return None
             return self._certificate(result, None)
-        # CCv: enumerate total update orders lazily, refined by the update
-        # order induced by the initial family — it is contained in every
-        # witnessing family, so orders contradicting it cannot succeed.
-        # K1+K3 closure makes the induced relation transitively closed and
-        # K4 makes it acyclic, so it is a valid refinement base.
+        from .causal_parallel import run_ccv_sharded
+
+        return run_ccv_sharded(self, jobs)
+
+    def run_shard(
+        self,
+        prefix: Tuple[int, ...] = (),
+        imported_sigs: Sequence[int] = (),
+        index: int = 0,
+        family0: Optional[Sequence[int]] = None,
+    ) -> ShardOutcome:
+        """Enumerate one prefix shard of the CCv total-order space.
+
+        CCv enumerates total update orders lazily, refined by the update
+        order induced by the initial family — it is contained in every
+        witnessing family, so orders contradicting it cannot succeed.
+        K1+K3 closure makes the induced relation transitively closed and
+        K4 makes it acyclic, so it is a valid refinement base.  ``prefix``
+        restricts the stream to one subtree of that enumeration (the
+        empty prefix is the whole space); ``imported_sigs`` seeds the
+        conflict cut with failure signatures learned elsewhere (sound
+        regardless of origin: a signature is a property of the instance,
+        not of the shard that learned it).
+        """
+        assert self.mode == "CCV"
+        if family0 is None:
+            family0 = self._initial_family()
+        else:
+            # a driver-provided family0 is already closed and seeded, but
+            # this instance's dependent sets must still know about its
+            # containments (K3-backward pushes rely on every containment
+            # being registered; _initial_family does this when it runs)
+            dependents = self._dependents
+            for e in range(self.n):
+                rest = family0[e]
+                while rest:
+                    low = rest & -rest
+                    rest ^= low
+                    dependents[low.bit_length() - 1] |= 1 << e
+        if family0 is None:
+            self.stats.shards = 1
+            return ShardOutcome(
+                index, None, 0, 0, None, None, False, self.stats, ()
+            )
+        base_family = tuple(family0)
         induced = [family0[u] for u in self.updates]
         enumerator = LazyOrderEnumerator(
-            induced, base=self.upd_po, limit=self.max_total_orders
+            induced,
+            base=self.upd_po,
+            limit=self.max_total_orders,
+            prefix=prefix,
         )
+        m = self.m
+        sigs: List[int] = list(imported_sigs) if self.conflict_cut else []
+        sig_seen: Set[int] = set(sigs)
+        imported_count = len(sigs)
         count = 0
+        certificate: Optional[CausalCertificate] = None
+        orders_at: Optional[int] = None
+        families_at: Optional[int] = None
+        exceeded = False
         for order in enumerator:
             count += 1
-            self.stats.total_orders_tried = count
-            rank = [0] * self.m
+            # rank + violation mask (all pairs this order reverses) in
+            # one O(m) pass: when x arrives, `seen` holds everything
+            # ranked before it, so pairs (x, y) with y in seen are the
+            # violated "x before y" constraints
+            rank = [0] * m
+            seen = 0
+            vmask = 0
             for r, pos in enumerate(order):
                 rank[pos] = r
+                vmask |= seen << (pos * m)
+                seen |= 1 << pos
+            cut = False
+            for sig in sigs:
+                if not (sig & vmask):
+                    cut = True
+                    break
+            if cut:
+                # the order agrees with a learned failure signature: its
+                # DFS would replay a known dead end step for step
+                self.stats.conflict_cuts += 1
+                if self.cut_log is not None:
+                    self.cut_log.append(tuple(order))
+                continue
             self._total_rank = rank
+            self._vmask = vmask
             # the family-visited memo is order-local (K5 changes which
-            # children close), the unit memo is cross-order by keying
-            self._visited.clear()
+            # children close); the unit memo and branch cache are
+            # cross-order by construction
+            self._visited = {}
             self._seq_cache.clear()
-            result = self._dfs(list(family0))
+            self._consulted = 0
+            try:
+                result = self._dfs(base_family)
+            except SearchBudgetExceeded:
+                exceeded = True
+                break
             if result is not None:
-                self.stats.orders_pruned = enumerator.pruned
-                return self._certificate(result, order)
-        self.stats.orders_pruned = enumerator.pruned
-        if count >= self.max_total_orders:
-            raise SearchBudgetExceeded(
-                f"more than {self.max_total_orders} total update orders"
-            )
-        return None
+                certificate = self._certificate(result, order)
+                orders_at = count
+                families_at = self.stats.families_explored
+                break
+            sig = self._consulted
+            if (
+                self.conflict_cut
+                and sig
+                and sig not in sig_seen
+                and len(sigs) < _SIG_CAP
+            ):
+                sigs.append(sig)
+                sig_seen.add(sig)
+        self.stats.total_orders_tried = count
+        self.stats.orders_pruned += enumerator.pruned
+        self.stats.shards = 1
+        learned = sigs[imported_count:]
+        learned.sort(key=lambda s: (s.bit_count(), s))
+        return ShardOutcome(
+            index=index,
+            certificate=certificate,
+            orders_tried=count,
+            families=self.stats.families_explored,
+            orders_at_success=orders_at,
+            families_at_success=families_at,
+            budget_exceeded=exceeded,
+            stats=self.stats,
+            exported_sigs=tuple(learned[:_SIG_EXPORT_CAP]),
+        )
 
     # ------------------------------------------------------------------
     # Family handling
@@ -318,15 +573,21 @@ class CausalSearch:
                         return None
         return family
 
-    def _propagate(
+    def _close(
         self, family: List[int], event: int, delta: int
-    ) -> Optional[List[int]]:
-        """Incrementally re-close ``family`` after adding ``delta`` bits to
-        ``event``'s past; ``None`` when K4/K5 fails.
+    ) -> Optional[int]:
+        """Incrementally re-close ``family`` (in place) after adding
+        ``delta`` bits to ``event``'s past; the rank-independent half of
+        a branch.
 
-        Precondition: ``family`` without the delta is K1–K3 closed (true
-        for every family produced by this class).  Mutates ``family`` in
-        place — callers pass a fresh copy per branch.
+        Returns the K5 *requirement mask* — the directed update pairs
+        ``(v, u)`` (bit ``v·m + u``) that appear in the changed update
+        rows, i.e. the containments a CCv total order must respect for
+        this family — or ``None`` when K4 fails (a cycle, dead under
+        every total order).  Precondition: ``family`` without the delta
+        is K1–K3 closed (true for every family produced by this class).
+        Because no part of this consults the total order, the result is
+        cacheable across orders (see ``_dfs``).
         """
         updates = self.updates
         succ_lists = self._succ_lists
@@ -374,8 +635,10 @@ class CausalSearch:
                     if (family[d] >> px) & 1 and new & ~family[d]:
                         work.append((d, new))
         self.stats.propagate_steps += steps
-        # K4/K5 need re-checking only where update rows changed
-        rank = self._total_rank
+        # K4 needs re-checking only where update rows changed; the same
+        # sweep collects the K5 requirements of those rows
+        pair = self._pair
+        required = 0
         rest_changed = changed_updates
         while rest_changed:
             low = rest_changed & -rest_changed
@@ -384,7 +647,6 @@ class CausalSearch:
             row = family[updates[pu]]
             if (row >> pu) & 1:
                 return None  # K4 irreflexivity
-            rpu = rank[pu] if rank is not None else 0
             rest = row
             while rest:
                 low2 = rest & -rest
@@ -392,7 +654,33 @@ class CausalSearch:
                 pv = low2.bit_length() - 1
                 if (family[updates[pv]] >> pu) & 1:
                     return None  # K4 antisymmetry
-                if rank is not None and rank[pv] > rpu:
+                required |= pair[pv][pu]
+        return required
+
+    def _propagate(
+        self, family: List[int], event: int, delta: int
+    ) -> Optional[List[int]]:
+        """Incrementally re-close ``family`` after adding ``delta`` bits to
+        ``event``'s past; ``None`` when K4/K5 fails.
+
+        Precondition: ``family`` without the delta is K1–K3 closed (true
+        for every family produced by this class).  Mutates ``family`` in
+        place — callers pass a fresh copy per branch.  ``_propagate_reference``
+        below is the executable specification this is property-tested
+        against.
+        """
+        required = self._close(family, event, delta)
+        if required is None:
+            return None
+        rank = self._total_rank
+        if rank is not None and required:
+            m = self.m
+            rest = required
+            while rest:
+                low = rest & -rest
+                rest ^= low
+                p = low.bit_length() - 1
+                if rank[p // m] > rank[p % m]:
                     return None  # K5 total-order containment
         return family
 
@@ -435,46 +723,143 @@ class CausalSearch:
                         return None
         return family
 
-    def _dfs(self, family: List[int]) -> Optional[List[int]]:
-        key = tuple(family)
-        if key in self._visited:
+    def _dfs(self, family: Tuple[int, ...]) -> Optional[Tuple[int, ...]]:
+        visited = self._visited
+        seen = visited.get(family)
+        if seen is not None:
+            # already dead this order; replaying its consults keeps the
+            # enclosing subtree's failure signature sound across diamonds
+            self._consulted |= seen
             return None
-        self._visited.add(key)
         self.stats.families_explored += 1
         if self.stats.families_explored > self.max_nodes:
             raise SearchBudgetExceeded(
                 f"explored more than {self.max_nodes} causal-past families"
             )
-        failing: Optional[Tuple[int, int]] = None
-        for unit in self.units:
-            if not self._check_unit(unit, family):
-                failing = unit
-                break
-        if failing is None:
+        # consults are accumulated per subtree: save the enclosing
+        # accumulator, collect this subtree's, and fold back on failure
+        saved = self._consulted
+        self._consulted = 0
+        e = -1
+        if self.mode == "CCV":
+            # inlined unit scan (this is the hottest loop of the CCv
+            # engine): sequence lookup + per-event memo, method calls
+            # only on cache misses
+            seq_cache = self._seq_cache
+            ccv_memo = self._ccv_memo
+            stats = self.stats
+            for unit_e in range(self.n):
+                row_e = family[unit_e]
+                entry = seq_cache.get(row_e)
+                if entry is not None:
+                    self._consulted |= entry[1]
+                    sequence = entry[0]
+                else:
+                    sequence = self._ccv_sequence(row_e)
+                cached = ccv_memo[unit_e].get(sequence)
+                if cached is not None:
+                    stats.memo_hits += 1
+                    if cached[0]:
+                        continue
+                    e = unit_e
+                    break
+                stats.event_checks += 1
+                ok = self._run_check_ccv(unit_e, sequence)
+                ccv_memo[unit_e][sequence] = (
+                    ok,
+                    self._last_lin if ok else None,
+                )
+                if not ok:
+                    e = unit_e
+                    break
+        else:
+            for unit in self.units:
+                if not self._check_unit(unit, family):
+                    e = unit[1]
+                    break
+        if e < 0:
             return family
-        _, e = failing
         # branch: add one update to the failing event's past
         row = family[e]
         rank = self._total_rank
+        updates = self.updates
+        m = self.m
         pe = self._event_upos[e]
         rank_e = rank[pe] if (rank is not None and pe >= 0) else None
-        for pu in range(self.m):
-            if (row >> pu) & 1 or self.updates[pu] == e:
-                continue
-            if pe >= 0:
-                # adding u ⊏ e for updates: refute K4/K5 before paying for
-                # the family copy and closure
-                if (family[self.updates[pu]] >> pe) & 1:
-                    continue  # u already above e: immediate cycle
-                if rank_e is not None and rank[pu] > rank_e:
-                    continue  # contradicts the total order
-            child = list(family)
-            closed = self._propagate(child, e, 1 << pu)
-            if closed is None:
-                continue
-            result = self._dfs(closed)
-            if result is not None:
-                return result
+        if self._use_cache:
+            pair = self._pair
+            vmask = self._vmask
+            bcache = self._branch_cache.get(family)
+            if bcache is None:
+                bcache = self._branch_cache[family] = {}
+            base_key = e * m
+            for pu in range(m):
+                if (row >> pu) & 1 or updates[pu] == e:
+                    continue
+                if pe >= 0:
+                    # adding u ⊏ e for updates: refute K4/K5 before paying
+                    # for the family copy and closure
+                    if (family[updates[pu]] >> pe) & 1:
+                        continue  # u already above e: immediate cycle
+                    if rank_e is not None:
+                        if rank[pu] > rank_e:
+                            # skipped *because* rank(e) < rank(u)
+                            self._consulted |= pair[pe][pu]
+                            continue
+                        self._consulted |= pair[pu][pe]
+                entry = bcache.get(base_key + pu, _NO_ENTRY)
+                if entry is _NO_ENTRY:
+                    child = list(family)
+                    required = self._close(child, e, 1 << pu)
+                    entry = (
+                        None if required is None else (tuple(child), required)
+                    )
+                    bcache[base_key + pu] = entry
+                if entry is None:
+                    continue  # K4 cycle: dead under every total order
+                child_t, required = entry
+                violated = required & vmask
+                if violated:
+                    # rejected because the order reverses these required
+                    # pairs; record them in the direction that held
+                    rest = violated
+                    while rest:
+                        low = rest & -rest
+                        rest ^= low
+                        p = low.bit_length() - 1
+                        self._consulted |= pair[p % m][p // m]
+                    continue
+                self._consulted |= required
+                child_seen = visited.get(child_t)
+                if child_seen is not None:
+                    # dead this order already (diamond): replay consults
+                    # without re-entering the subtree
+                    self._consulted |= child_seen
+                    continue
+                result = self._dfs(child_t)
+                if result is not None:
+                    return result
+        else:
+            # reference path (oracles/ablation): fresh closure per branch,
+            # no consult bookkeeping
+            for pu in range(m):
+                if (row >> pu) & 1 or updates[pu] == e:
+                    continue
+                if pe >= 0:
+                    if (family[updates[pu]] >> pe) & 1:
+                        continue
+                    if rank_e is not None and rank[pu] > rank_e:
+                        continue
+                child = list(family)
+                closed = self._propagate(child, e, 1 << pu)
+                if closed is None:
+                    continue
+                result = self._dfs(tuple(closed))
+                if result is not None:
+                    return result
+        sig = self._consulted
+        visited[family] = sig
+        self._consulted = saved | sig
         return None
 
     # ------------------------------------------------------------------
@@ -483,26 +868,42 @@ class CausalSearch:
     def _ccv_sequence(self, row: int) -> Tuple[int, ...]:
         """Update positions of ``row`` sorted by the current total order
         (cached per order: the same few row masks recur across the
-        families of one order's search)."""
-        sequence = self._seq_cache.get(row)
-        if sequence is None:
+        families of one order's search).
+
+        A CCv unit verdict depends on the order only through this
+        sequence, so the cache also carries the row's *consistent-pair
+        mask* — every directed pair the sequence embodies — and each use
+        folds it into the running consult accumulator: any order agreeing
+        on those pairs sorts the row identically.
+        """
+        entry = self._seq_cache.get(row)
+        if entry is None:
             rank = self._total_rank
             assert rank is not None
-            ordered = bit_list(row)
-            ordered.sort(key=rank.__getitem__)
-            sequence = tuple(ordered)
-            self._seq_cache[row] = sequence
-        return sequence
+            positions = self._row_bits.get(row)
+            if positions is None:
+                positions = self._row_bits[row] = bit_list(row)
+            ordered = sorted(positions, key=rank.__getitem__)
+            mask = 0
+            if self.conflict_cut:
+                m = self.m
+                seen = 0
+                for x in reversed(ordered):
+                    mask |= seen << (x * m)
+                    seen |= 1 << x
+            entry = (tuple(ordered), mask)
+            self._seq_cache[row] = entry
+        self._consulted |= entry[1]
+        return entry[0]
 
-    def _unit_key(self, unit: Tuple[int, int], family: List[int]) -> object:
+    def _unit_key(self, unit: Tuple[int, int], family: Sequence[int]) -> object:
         chain_idx, e = unit
         row = family[e]
         if self.mode == "CC":
             prefix = self._prefix_of(unit)
             rows_sig = tuple(family[q] for q in prefix)
             return (chain_idx, e, row, rows_sig, self._order_sig(row, family))
-        if self.mode == "CCV":
-            return (e, self._ccv_sequence(row))
+        assert self.mode == "WCC"  # CCv memoises per event, keyed by sequence
         return (e, row, self._order_sig(row, family))
 
     def _prefix_of(self, unit: Tuple[int, int]) -> Tuple[int, ...]:
@@ -512,22 +913,32 @@ class CausalSearch:
         chain = self.chains[chain_idx]
         return chain[: chain.index(e)]
 
-    def _check_unit(self, unit: Tuple[int, int], family: List[int]) -> bool:
+    def _check_unit(self, unit: Tuple[int, int], family: Sequence[int]) -> bool:
+        if self.mode == "CCV":
+            # hot path: per-event dicts keyed by the ordered sequence
+            # alone (no composite-key tuple per check)
+            e = unit[1]
+            sequence = self._ccv_sequence(family[e])
+            memo = self._ccv_memo[e]
+            cached = memo.get(sequence)
+            if cached is not None:
+                self.stats.memo_hits += 1
+                return cached[0]
+            self.stats.event_checks += 1
+            ok = self._run_check_ccv(e, sequence)
+            memo[sequence] = (ok, self._last_lin if ok else None)
+            return ok
         memo_key = self._unit_key(unit, family)
         cached = self._event_memo.get(memo_key)
         if cached is not None:
             self.stats.memo_hits += 1
             return cached[0]
         self.stats.event_checks += 1
-        _, e = unit
-        if self.mode == "CCV":
-            ok = self._run_check_ccv(e, memo_key[1])
-        else:
-            ok = self._run_check(e, self._prefix_of(unit), family)
+        ok = self._run_check(unit[1], self._prefix_of(unit), family)
         self._event_memo[memo_key] = (ok, self._last_lin if ok else None)
         return ok
 
-    def _order_sig(self, row: int, family: List[int]) -> Tuple[int, ...]:
+    def _order_sig(self, row: int, family: Sequence[int]) -> Tuple[int, ...]:
         """Induced update order restricted to ``row`` (for memo keys)."""
         updates = self.updates
         out = []
@@ -567,7 +978,7 @@ class CausalSearch:
         self._last_lin = tuple(self.updates[pu] for pu in sequence) + (e,)
         return True
 
-    def _run_check(self, e: int, prefix: Sequence[int], family: List[int]) -> bool:
+    def _run_check(self, e: int, prefix: Sequence[int], family: Sequence[int]) -> bool:
         history = self.history
         adt = self.adt
         event = history.event(e)
@@ -629,7 +1040,7 @@ class CausalSearch:
 
     # ------------------------------------------------------------------
     def _certificate(
-        self, family: List[int], order: Optional[List[int]]
+        self, family: Sequence[int], order: Optional[List[int]]
     ) -> CausalCertificate:
         past = {
             e: tuple(self.updates[pu] for pu in bits(family[e]))
@@ -646,9 +1057,12 @@ class CausalSearch:
         # family (each unit was just checked, so its memo entry exists)
         lins: Dict[object, Tuple[int, ...]] = {}
         for unit in self.units:
-            cached = self._event_memo.get(self._unit_key(unit, family))
+            chain_idx, e = unit
+            if self.mode == "CCV":
+                cached = self._ccv_memo[e].get(self._ccv_sequence(family[e]))
+            else:
+                cached = self._event_memo.get(self._unit_key(unit, family))
             if cached and cached[1] is not None:
-                chain_idx, e = unit
                 lins[(chain_idx, e) if self.mode == "CC" else e] = cached[1]
         return CausalCertificate(
             mode=self.mode,
@@ -665,8 +1079,14 @@ def search_causal_order(
     adt: AbstractDataType,
     mode: str,
     max_nodes: int = 200_000,
+    jobs: Optional[int] = None,
 ) -> Tuple[Optional[CausalCertificate], SearchStats]:
-    """Decide WCC/CC/CCv membership; returns (certificate-or-None, stats)."""
+    """Decide WCC/CC/CCv membership; returns (certificate-or-None, stats).
+
+    ``jobs`` (CCv only) shards the total-order enumeration over that many
+    worker processes; ``None``/``1`` stays in-process.  Verdicts,
+    certificates and stats are identical at every worker count.
+    """
     search = CausalSearch(history, adt, mode.upper(), max_nodes=max_nodes)
-    certificate = search.run()
+    certificate = search.run(jobs=jobs or 1)
     return certificate, search.stats

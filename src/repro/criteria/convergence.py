@@ -9,6 +9,8 @@ of weak causal consistency and eventual consistency (Sec. 5).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..core.adt import AbstractDataType
 from ..core.history import History
 from .base import CheckResult, register
@@ -17,11 +19,18 @@ from .causal_search import search_causal_order
 
 @register("CCV")
 def check_convergence(
-    history: History, adt: AbstractDataType, max_nodes: int = 200_000
+    history: History,
+    adt: AbstractDataType,
+    max_nodes: int = 200_000,
+    jobs: Optional[int] = None,
 ) -> CheckResult:
     """Decide ``H ∈ CCv(T)``: enumerate total update orders extending the
-    program order, then search causal pasts as for WCC."""
-    certificate, stats = search_causal_order(history, adt, "CCV", max_nodes=max_nodes)
+    program order, then search causal pasts as for WCC.  ``jobs`` shards
+    the enumeration over worker processes (same verdict, certificate and
+    counters at any count)."""
+    certificate, stats = search_causal_order(
+        history, adt, "CCV", max_nodes=max_nodes, jobs=jobs
+    )
     result_stats = {
         "families": stats.families_explored,
         "event_checks": stats.event_checks,
@@ -29,6 +38,8 @@ def check_convergence(
         "memo_hits": stats.memo_hits,
         "propagate_steps": stats.propagate_steps,
         "orders_pruned": stats.orders_pruned,
+        "conflict_cuts": stats.conflict_cuts,
+        "shards": stats.shards,
     }
     if certificate is None:
         return CheckResult(

@@ -215,12 +215,29 @@ class LinearizationProblem:
         initial = adt.initial_state()
         self.nodes_visited = 0
 
+        # Ready-set delta: rather than re-deriving successor candidates
+        # per frame (testing ``pred[c] & ~consumed`` for every unconsumed
+        # c), each frame carries the mask of *ready* items — unconsumed,
+        # all predecessors consumed — and consuming an item only offers
+        # its successors for admission.  Successor lists are the inverted
+        # predecessor masks, built once per problem.
+        successors: List[List[int]] = [[] for _ in range(n)]
+        for i in range(n):
+            rest = pred[i]
+            while rest:
+                low = rest & -rest
+                rest ^= low
+                successors[low.bit_length() - 1].append(i)
+        ready0 = 0
+        for i in range(n):
+            if not pred[i]:
+                ready0 |= 1 << i
         # Iterative DFS with explicit stack to avoid recursion limits on
-        # larger histories.  Each frame: (consumed, state, next_pos, path).
+        # larger histories.  Each frame: (consumed, state, ready, next_pos).
         path: List[int] = []
-        stack: List[Tuple[int, State, int]] = [(0, initial, 0)]
+        stack: List[Tuple[int, State, int, int]] = [(0, initial, ready0, 0)]
         while stack:
-            consumed, state, pos = stack.pop()
+            consumed, state, ready, pos = stack.pop()
             if pos == 0:
                 self.nodes_visited += 1
             # unwind path to match the depth of this frame
@@ -229,12 +246,12 @@ class LinearizationProblem:
             if consumed == full:
                 return path
             advanced = False
-            for candidate in range(pos, n):
-                bit = 1 << candidate
-                if consumed & bit:
-                    continue
-                if pred[candidate] & ~consumed:
-                    continue
+            # scan only the ready items at or past the frame's position
+            rest = ready >> pos << pos
+            while rest:
+                bit = rest & -rest
+                rest ^= bit
+                candidate = bit.bit_length() - 1
                 item = items[candidate]
                 if item.check:
                     if adt.output(state, item.invocation) != item.output:
@@ -243,9 +260,13 @@ class LinearizationProblem:
                 nconsumed = consumed | bit
                 if nconsumed != full and (nconsumed, nstate) in failed:
                     continue
+                nready = ready & ~bit
+                for s in successors[candidate]:
+                    if not (pred[s] & ~nconsumed):
+                        nready |= 1 << s
                 # re-push current frame to continue after this candidate
-                stack.append((consumed, state, candidate + 1))
-                stack.append((nconsumed, nstate, 0))
+                stack.append((consumed, state, ready, candidate + 1))
+                stack.append((nconsumed, nstate, nready, 0))
                 path.append(candidate)
                 advanced = True
                 break

@@ -11,6 +11,8 @@ but lets different processes order concurrent updates differently forever.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..core.adt import AbstractDataType
 from ..core.history import History
 from .base import CheckResult, register
@@ -19,12 +21,18 @@ from .causal_search import search_causal_order
 
 @register("WCC")
 def check_weak_causal(
-    history: History, adt: AbstractDataType, max_nodes: int = 200_000
+    history: History,
+    adt: AbstractDataType,
+    max_nodes: int = 200_000,
+    jobs: Optional[int] = None,
 ) -> CheckResult:
     """Decide ``H ∈ WCC(T)`` by causal-order search (see
     :mod:`repro.criteria.causal_search` for the algorithm and its
-    completeness argument)."""
-    certificate, stats = search_causal_order(history, adt, "WCC", max_nodes=max_nodes)
+    completeness argument).  ``jobs`` is accepted for interface
+    uniformity; WCC has no total-order enumeration to shard."""
+    certificate, stats = search_causal_order(
+        history, adt, "WCC", max_nodes=max_nodes, jobs=jobs
+    )
     result_stats = {
         "families": stats.families_explored,
         "event_checks": stats.event_checks,

@@ -1,9 +1,10 @@
 """Equivalence tests for the incremental causal-order search engine.
 
-The engine's perf machinery (worklist closure, cross-order memoisation,
-lazy total-order refinement, shared linearisation caches) must be
+The engine's perf machinery (worklist closure, cross-order memoisation
+and branch caching, the conflict-driven cut, lazy total-order
+refinement, sharded enumeration, shared linearisation caches) must be
 *behaviourally invisible*: same closed families, same verdicts, same
-(valid) certificates.  This module pins that down three ways:
+(valid) certificates.  This module pins that down five ways:
 
 1. a property test that the incremental worklist closure
    (``CausalSearch._propagate``) computes exactly the same closed family
@@ -11,20 +12,31 @@ lazy total-order refinement, shared linearisation caches) must be
    (``_propagate_reference``), including the K4/K5 failure cases;
 2. an ``OldStyleSearch`` reference that restores the seed
    implementation's control flow — whole-fixpoint propagation and
-   up-front enumeration of *all* total update orders — and must agree
-   with the optimised search on randomized histories in all three modes;
+   up-front enumeration of *all* total update orders, no branch cache,
+   no conflict cut — and must agree with the optimised search on
+   randomized histories in all three modes;
 3. verdict + certificate checks over the full litmus gallery in WCC, CC
-   and CCv.
+   and CCv;
+4. parallel/sequential equivalence: jobs ∈ {1, 2, 4} must produce the
+   same verdicts, byte-identical certificates and byte-identical stats,
+   with the multi-shard pool path actually exercised;
+5. conflict-cut soundness: every total order the cut skips, re-run
+   against the un-cut reference machinery, really does fail.
 """
 
 import random
+from dataclasses import asdict
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.criteria import check, verify_certificate
-from repro.criteria.causal_search import CausalSearch, search_causal_order
+from repro.criteria.causal_search import (
+    CausalSearch,
+    SearchBudgetExceeded,
+    search_causal_order,
+)
 from repro.litmus import all_litmus
 from repro.litmus.extra import extra_litmus
 from repro.litmus.generators import (
@@ -120,14 +132,20 @@ class TestPropagationEquivalence:
 class OldStyleSearch(CausalSearch):
     """The seed implementation's control flow as a reference oracle:
     whole-family fixpoint per branch and exhaustive up-front enumeration
-    of the total update orders (no lazy refinement, no cross-order
-    reuse of families)."""
+    of the total update orders (no lazy refinement, no cross-order reuse
+    of families, no branch caching, no conflict-driven cut, no
+    sharding)."""
+
+    def __init__(self, *args, **kwargs):
+        kwargs.setdefault("conflict_cut", False)
+        kwargs.setdefault("cross_order_caching", False)
+        super().__init__(*args, **kwargs)
 
     def _propagate(self, family, event, delta):
         family[event] |= delta
         return self._propagate_reference(family)
 
-    def run(self):
+    def run(self, jobs=1):
         if self.mode != "CCV":
             return super().run()
         for order in topological_orders(
@@ -137,11 +155,11 @@ class OldStyleSearch(CausalSearch):
             for r, pos in enumerate(order):
                 rank[pos] = r
             self._total_rank = rank
-            self._visited.clear()
+            self._visited = {}
             self._seq_cache.clear()
             family = self._initial_family()
             if family is not None:
-                result = self._dfs(family)
+                result = self._dfs(tuple(family))
                 if result is not None:
                     return self._certificate(result, order)
         return None
@@ -193,6 +211,129 @@ class TestLitmusGallery:
 
 
 # ----------------------------------------------------------------------
+# 4. parallel shards == sequential (verdicts, certificates, stats)
+# ----------------------------------------------------------------------
+def _update_heavy_history(rng):
+    """Histories with enough updates that the CCv order space exceeds the
+    single-shard threshold (so the pool path really runs)."""
+    return random_window_history(rng, processes=3, ops_per_process=4)
+
+
+class TestParallelEquivalence:
+    def test_jobs_equivalence(self):
+        """jobs ∈ {1, 2, 4}: same verdict, same certificate, same stats —
+        the sharded pool must be behaviourally invisible."""
+        rng = random.Random(2016)
+        multi_shard_seen = 0
+        for _ in range(10):
+            history, adt = _update_heavy_history(rng)
+            outcomes = {}
+            for jobs in (1, 2, 4):
+                search = CausalSearch(history, adt, "CCV")
+                try:
+                    certificate = search.run(jobs=jobs)
+                except SearchBudgetExceeded:
+                    outcomes[jobs] = "budget-exceeded"
+                    continue
+                if certificate is not None:
+                    verify_certificate(history, adt, certificate)
+                stats = asdict(search.stats)
+                if stats["shards"] > 1:
+                    multi_shard_seen += 1
+                outcomes[jobs] = (
+                    None if certificate is None else asdict(certificate),
+                    stats,
+                )
+            assert outcomes[1] == outcomes[2], history
+            assert outcomes[1] == outcomes[4], history
+        # the equivalence must have covered the actual pool path, not
+        # just the small-instance single-shard shortcut
+        assert multi_shard_seen > 0
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_jobs_matches_oracle(self, jobs):
+        """The pooled search agrees with the seed-style oracle."""
+        rng = random.Random(99)
+        for _ in range(8):
+            history, adt = _random_history(rng)
+            parallel = CausalSearch(history, adt, "CCV").run(jobs=jobs)
+            oracle = OldStyleSearch(history, adt, "CCV").run()
+            assert (parallel is None) == (oracle is None), history
+
+    def test_checker_jobs_kwarg(self):
+        """``check(..., jobs=N)`` plumbs through to the CCv search and
+        reports the sharding counters."""
+        rng = random.Random(5)
+        history, adt = _update_heavy_history(rng)
+        serial = check(history, adt, "CCV", jobs=1)
+        pooled = check(history, adt, "CCV", jobs=2)
+        assert serial.ok == pooled.ok
+        assert serial.stats == pooled.stats
+        assert "conflict_cuts" in serial.stats
+        assert serial.stats["shards"] >= 1
+
+
+# ----------------------------------------------------------------------
+# 5. conflict-cut soundness: pruned orders can never satisfy CCv
+# ----------------------------------------------------------------------
+class TestConflictCutSoundness:
+    def test_cut_orders_all_fail_uncut(self):
+        """Every total order skipped by the conflict cut, when searched
+        exhaustively with the cut and the branch cache disabled, finds no
+        witnessing family — the cut never discards a potential YES."""
+        rng = random.Random(31)
+        cut_orders_checked = 0
+        for _ in range(40):
+            history, adt = _update_heavy_history(rng)
+            search = CausalSearch(history, adt, "CCV")
+            search.cut_log = []
+            try:
+                search.run(jobs=1)
+            except SearchBudgetExceeded:
+                continue
+            if not search.cut_log:
+                continue
+            # reference machinery: fresh closure per branch, rank checked
+            # directly against the order, no signatures anywhere
+            probe = CausalSearch(
+                history,
+                adt,
+                "CCV",
+                conflict_cut=False,
+                cross_order_caching=False,
+            )
+            family0 = probe._initial_family()
+            assert family0 is not None
+            for order in search.cut_log[:20]:
+                rank = [0] * probe.m
+                for r, pos in enumerate(order):
+                    rank[pos] = r
+                probe._total_rank = rank
+                probe._visited = {}
+                probe._seq_cache.clear()
+                assert probe._dfs(tuple(family0)) is None, (history, order)
+                cut_orders_checked += 1
+            if cut_orders_checked >= 60:
+                break
+        assert cut_orders_checked > 0  # the cut actually fired
+
+    def test_cut_disabled_same_verdicts(self):
+        """The cut is a pure pruning: disabling it changes no verdict."""
+        rng = random.Random(77)
+        for _ in range(10):
+            history, adt = _update_heavy_history(rng)
+            with_cut = CausalSearch(history, adt, "CCV").run()
+            without = CausalSearch(
+                history, adt, "CCV", conflict_cut=False
+            ).run()
+            assert (with_cut is None) == (without is None), history
+            if with_cut is not None:
+                # certificates are bit-identical too: the cut only skips
+                # failing orders, never the first witness
+                assert asdict(with_cut) == asdict(without)
+
+
+# ----------------------------------------------------------------------
 # stats plumbing
 # ----------------------------------------------------------------------
 class TestStatsCounters:
@@ -208,6 +349,8 @@ class TestStatsCounters:
         assert result.stats["propagate_steps"] >= 0
         assert "orders_pruned" in result.stats
         assert "memo_hits" in result.stats
+        assert "conflict_cuts" in result.stats
+        assert result.stats["shards"] >= 1
 
     def test_memo_hits_accumulate_across_orders(self):
         """CCv keys its unit memo on ordered update tuples, so families
