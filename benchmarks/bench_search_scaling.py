@@ -26,6 +26,7 @@ import json
 import math
 import pathlib
 import random
+import statistics
 import sys
 import time
 import zlib
@@ -44,10 +45,18 @@ from repro.criteria.causal_search import (  # noqa: E402
     SearchBudgetExceeded,
     search_causal_order,
 )
+from repro.litmus.generators import recorded_window_history  # noqa: E402
 
 MODES = ("WCC", "CC", "CCV")
 
-# (name, processes, ops/process, update probability, histories)
+# (name, processes, ops/process, update probability, histories).
+# ``sat-*`` configs are *recorded* histories (see
+# :func:`repro.litmus.generators.recorded_window_history`, shared with
+# the equivalence tests): satisfiable by construction and
+# carrying observed timestamps, they are the population on which the
+# witness-guided enumeration order is measured (the adversarial random
+# configs above them are almost always CCv-unsatisfiable, which
+# exercises the NO path instead).
 FULL_SWEEP: List[Tuple[str, int, int, float, int]] = [
     ("2x4-d50", 2, 4, 0.50, 6),
     ("2x4-d75", 2, 4, 0.75, 6),
@@ -61,12 +70,19 @@ FULL_SWEEP: List[Tuple[str, int, int, float, int]] = [
     ("4x5-d30", 4, 5, 0.30, 4),
     ("3x8-d25", 3, 8, 0.25, 3),
     ("4x6-d25", 4, 6, 0.25, 3),
+    ("sat-2x6-d50", 2, 6, 0.50, 6),
+    ("sat-3x4-d50", 3, 4, 0.50, 6),
+    ("sat-3x5-d40", 3, 5, 0.40, 6),
+    ("sat-3x6-d40", 3, 6, 0.40, 4),
+    ("sat-4x5-d35", 4, 5, 0.35, 4),
 ]
 
 SMOKE_SWEEP: List[Tuple[str, int, int, float, int]] = [
     ("2x4-d50", 2, 4, 0.50, 3),
     ("3x4-d50", 3, 4, 0.50, 3),
     ("2x6-d35", 2, 6, 0.35, 2),
+    ("sat-3x4-d50", 3, 4, 0.50, 3),
+    ("sat-2x6-d50", 2, 6, 0.50, 2),
 ]
 
 
@@ -132,14 +148,18 @@ def run_sweep(
     max_nodes: int,
     verify: bool,
     jobs: Optional[int] = None,
+    order_heuristic: Optional[str] = None,
 ) -> List[Dict[str, Any]]:
     cases: List[Dict[str, Any]] = []
     for name, processes, ops, density, count in sweep:
         # zlib.crc32, not hash(): str hashing is salted per process and
         # would make the sweep non-reproducible across runs
         rng = random.Random(seed * 1_000_003 + zlib.crc32(name.encode()))
+        generate = (
+            recorded_window_history if name.startswith("sat-") else random_history
+        )
         population = [
-            random_history(rng, processes, ops, density) for _ in range(count)
+            generate(rng, processes, ops, density) for _ in range(count)
         ]
         for mode in MODES:
             verdicts: List[Optional[bool]] = []
@@ -159,11 +179,19 @@ def run_sweep(
             # per-shard breakdown of the case's most-sharded history
             # (the interesting one: where the parallel split actually bites)
             shard_detail: List[Dict[str, int]] = []
+            # per-history witness positions (CCv, satisfiable histories):
+            # the enumeration ranks the order heuristic tries to minimise
+            orders_to_witness: List[int] = []
             t0 = time.perf_counter()
             for history, adt in population:
                 try:
                     certificate, stats = search_causal_order(
-                        history, adt, mode, max_nodes=max_nodes, jobs=jobs
+                        history,
+                        adt,
+                        mode,
+                        max_nodes=max_nodes,
+                        jobs=jobs,
+                        order_heuristic=order_heuristic,
                     )
                 except SearchBudgetExceeded:
                     budget_exceeded += 1
@@ -172,6 +200,9 @@ def run_sweep(
                 verdicts.append(certificate is not None)
                 if certificate is not None:
                     certificates.append((history, adt, certificate))
+                    witness_at = getattr(stats, "orders_to_witness", None)
+                    if witness_at is not None:
+                        orders_to_witness.append(witness_at)
                 for key in counters:
                     counters[key] += _stat(stats, key)
                 per_shard = getattr(stats, "per_shard", None)
@@ -198,10 +229,19 @@ def run_sweep(
                 else 0.0,
                 **counters,
             }
+            if mode == "CCV":
+                case["orders_to_witness"] = orders_to_witness
+                case["orders_to_witness_median"] = median(orders_to_witness)
             if mode == "CCV" and shard_detail:
                 case["per_shard"] = shard_detail
             cases.append(case)
     return cases
+
+
+def median(values: List[int]) -> Optional[float]:
+    """``statistics.median`` with a ``None`` for an empty population
+    (a case without witnesses has no position to report)."""
+    return float(statistics.median(values)) if values else None
 
 
 def geomean(ratios: List[float]) -> float:
@@ -262,7 +302,9 @@ def compare_to_baseline(
 
 
 def litmus_verdicts(
-    max_nodes: int, jobs: Optional[int] = None
+    max_nodes: int,
+    jobs: Optional[int] = None,
+    order_heuristic: Optional[str] = None,
 ) -> Dict[str, Dict[str, bool]]:
     """Classify the full litmus gallery in all three modes (equivalence
     anchor: these verdicts must never change across perf PRs)."""
@@ -275,7 +317,7 @@ def litmus_verdicts(
         for mode in MODES:
             certificate, _ = search_causal_order(
                 litmus.history, litmus.adt, mode, max_nodes=max_nodes,
-                jobs=jobs,
+                jobs=jobs, order_heuristic=order_heuristic,
             )
             if certificate is not None:
                 verify_certificate(litmus.history, litmus.adt, certificate)
@@ -296,6 +338,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="worker processes for the sharded CCv search (0 = host-sized; "
         "default/1 = in-process; verdicts and counters are identical at "
         "any count, so --baseline comparisons work in both modes)",
+    )
+    parser.add_argument(
+        "--order-heuristic",
+        choices=("timestamps", "lex"),
+        default="timestamps",
+        help="CCv total-order enumeration order: witness-guided "
+        "'timestamps' (default) or the 'lex' escape hatch; verdicts are "
+        "identical, witness positions (orders_to_witness) differ",
     )
     parser.add_argument(
         "--out", default=str(_ROOT / "BENCH_search.json"), help="JSON output"
@@ -322,26 +372,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     sweep = SMOKE_SWEEP if args.smoke else FULL_SWEEP
     started = time.perf_counter()
     cases = run_sweep(
-        sweep, args.seed, args.max_nodes, not args.no_verify, jobs=args.jobs
+        sweep, args.seed, args.max_nodes, not args.no_verify, jobs=args.jobs,
+        order_heuristic=args.order_heuristic,
     )
-    litmus = litmus_verdicts(args.max_nodes, jobs=args.jobs)
+    litmus = litmus_verdicts(
+        args.max_nodes, jobs=args.jobs, order_heuristic=args.order_heuristic
+    )
     elapsed = time.perf_counter() - started
 
     per_mode_wall = {
         mode: round(sum(c["wall_s"] for c in cases if c["mode"] == mode), 4)
         for mode in MODES
     }
+    all_witness_positions = [
+        v
+        for c in cases
+        if c["mode"] == "CCV"
+        for v in c.get("orders_to_witness", [])
+    ]
     report: Dict[str, Any] = {
-        "schema": 2,
+        "schema": 3,
         "smoke": args.smoke,
         "seed": args.seed,
         "jobs": args.jobs or 1,
+        "order_heuristic": args.order_heuristic,
         "timestamp": time.time(),
         "cases": cases,
         "litmus": litmus,
         "summary": {
             "wall_s": round(elapsed, 4),
             "per_mode_wall_s": per_mode_wall,
+            "ccv_witnesses": len(all_witness_positions),
+            "ccv_orders_to_witness_median": median(all_witness_positions),
         },
     }
 
@@ -363,6 +425,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     for mode in MODES:
         print(f"{mode:4s} wall {per_mode_wall[mode]:8.3f}s")
+    print(
+        f"CCv witnesses: {len(all_witness_positions)}, median orders to "
+        f"witness {median(all_witness_positions)} "
+        f"({args.order_heuristic} heuristic)"
+    )
     print(f"total {elapsed:.3f}s -> {out_path}")
     if args.baseline and report.get("baseline_comparison"):
         print("vs baseline:", json.dumps(report["baseline_comparison"]))

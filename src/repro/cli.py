@@ -172,10 +172,29 @@ _WORK_COUNTERS = (
     ("memo_hits", "memo"),
     ("propagate_steps", "prop"),
     ("total_orders", "orders"),
+    ("orders_to_witness", "witness@"),
     ("orders_pruned", "pruned"),
     ("conflict_cuts", "cut"),
     ("shards", "shards"),
 )
+
+
+def _jobs_arg(text: str) -> int:
+    """argparse type for ``--jobs``: non-negative int (0 = host-sized).
+
+    Rejecting negatives at the parser keeps them out of
+    ``multiprocessing.Pool(processes=...)``, which would otherwise die
+    with an opaque ``ValueError`` long after argument handling.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be >= 0 (0 = one worker per host CPU), got {value}"
+        )
+    return value
 
 
 def _format_work(stats: Dict[str, Any]) -> str:
@@ -230,11 +249,11 @@ def cmd_classify(args: argparse.Namespace) -> int:
     args.jobs = resolve_jobs(args.jobs)
     rows = []
     for criterion in criteria:
-        kwargs = (
-            {"jobs": args.jobs}
-            if args.jobs and criterion in ("WCC", "CC", "CCV")
-            else {}
-        )
+        kwargs: Dict[str, Any] = {}
+        if criterion in ("WCC", "CC", "CCV"):
+            if args.jobs:
+                kwargs["jobs"] = args.jobs
+            kwargs["order_heuristic"] = args.order_heuristic
         result = check(history, adt, criterion, **kwargs)
         rows.append(
             [
@@ -289,10 +308,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("classify", help="classify a JSON history file")
     p.add_argument("file")
     p.add_argument(
-        "--jobs", type=int, default=None,
+        "--jobs", type=_jobs_arg, default=None,
         help="worker processes for the sharded CCv search "
         "(0 = host-sized; default/1 = in-process; verdicts, certificates "
         "and work counters are identical at any count)",
+    )
+    p.add_argument(
+        "--order-heuristic", choices=("timestamps", "lex"),
+        default="timestamps",
+        help="CCv total-order enumeration order: witness-guided "
+        "'timestamps' (default) tries orders extending the observed "
+        "broadcast timestamps first; 'lex' is the lexicographic escape "
+        "hatch (verdicts are identical either way)",
     )
     p.set_defaults(fn=cmd_classify)
 
@@ -311,7 +338,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seeds", type=int, default=2)
     p.add_argument(
-        "--jobs", type=int, default=None,
+        "--jobs", type=_jobs_arg, default=None,
         help="worker processes (default: host-sized; 1 = serial)",
     )
     p.add_argument(

@@ -16,6 +16,16 @@ Python-int bitmasks (arbitrary precision, so histories are not limited to
 - :meth:`History.past_mask` — strict program-order past of an event;
 - :meth:`History.processes` — the maximal chains ``P_H``;
 - :meth:`History.update_mask` — the update events of a given ADT.
+
+Histories recorded from simulated executions additionally carry the
+*observed invocation timestamps* of their events (``times``): the time
+each operation was issued — for an update, the moment its broadcast was
+sent.  Timestamps are pure observation metadata: they never participate
+in equality of verdicts, but the CCv checker's witness-guided
+enumeration uses them to decide which total update orders to *try
+first* (see :mod:`repro.criteria.causal_search`).  Histories built
+without them (litmus galleries, JSON files) simply have ``times is
+None`` and the checkers fall back to structural virtual timestamps.
 """
 
 from __future__ import annotations
@@ -86,16 +96,33 @@ def _transitive_reduction(n: int, pred_masks: List[int]) -> List[int]:
 class History:
     """A finite distributed history with cached order structure."""
 
-    __slots__ = ("events", "_ipred_masks", "_past_masks", "_succ_masks", "_chains")
+    __slots__ = (
+        "events",
+        "_ipred_masks",
+        "_past_masks",
+        "_succ_masks",
+        "_chains",
+        "_times",
+    )
 
-    def __init__(self, events: Sequence[Event], past_masks: Sequence[int]):
+    def __init__(
+        self,
+        events: Sequence[Event],
+        past_masks: Sequence[int],
+        times: Optional[Sequence[float]] = None,
+    ):
         self.events: Tuple[Event, ...] = tuple(events)
         self._past_masks: Tuple[int, ...] = tuple(past_masks)
         self._ipred_masks: Optional[Tuple[int, ...]] = None
         self._succ_masks: Optional[Tuple[int, ...]] = None
         self._chains: Optional[Tuple[Tuple[int, ...], ...]] = None
+        self._times: Optional[Tuple[float, ...]] = (
+            tuple(times) if times is not None else None
+        )
         if len(self._past_masks) != len(self.events):
             raise ValueError("one past mask per event required")
+        if self._times is not None and len(self._times) != len(self.events):
+            raise ValueError("one timestamp per event required")
         for e, mask in enumerate(self._past_masks):
             if mask >> len(self.events):
                 raise ValueError(f"past mask of event {e} mentions unknown events")
@@ -106,24 +133,39 @@ class History:
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
-    def from_processes(cls, rows: Sequence[Sequence[Any]]) -> "History":
+    def from_processes(
+        cls,
+        rows: Sequence[Sequence[Any]],
+        times: Optional[Sequence[Sequence[float]]] = None,
+    ) -> "History":
         """Build a history of communicating sequential processes.
 
         ``rows[p]`` is the sequence of operations of process ``p`` (any
         format accepted by :func:`repro.core.operations.operations`).  The
-        program order is the disjoint union of the row orders.
+        program order is the disjoint union of the row orders.  ``times``
+        optionally gives the observed invocation timestamp of every
+        operation, row-parallel to ``rows``.
         """
         events: List[Event] = []
         past_masks: List[int] = []
+        flat_times: Optional[List[float]] = [] if times is not None else None
         for p, row in enumerate(rows):
             row_ops = operations(row)
+            if flat_times is not None:
+                row_times = times[p]
+                if len(row_times) != len(row_ops):
+                    raise ValueError(
+                        f"row {p}: {len(row_times)} timestamps for "
+                        f"{len(row_ops)} operations"
+                    )
+                flat_times.extend(row_times)
             prefix_mask = 0
             for operation in row_ops:
                 eid = len(events)
                 events.append(Event(eid, p, operation.invocation, operation.output))
                 past_masks.append(prefix_mask)
                 prefix_mask |= 1 << eid
-        return cls(events, past_masks)
+        return cls(events, past_masks, times=flat_times)
 
     @classmethod
     def from_dag(
@@ -180,6 +222,16 @@ class History:
     def past_mask(self, eid: int) -> int:
         """Strict program-order past ``{e' : e' |-> e}`` as a bitmask."""
         return self._past_masks[eid]
+
+    @property
+    def times(self) -> Optional[Tuple[float, ...]]:
+        """Observed invocation timestamps by event id, or ``None`` for
+        histories that were not recorded from an execution."""
+        return self._times
+
+    def time_of(self, eid: int) -> Optional[float]:
+        """Observed invocation timestamp of ``eid`` (``None`` untimed)."""
+        return self._times[eid] if self._times is not None else None
 
     def po_lt(self, a: int, b: int) -> bool:
         """``a |-> b`` (strictly)."""

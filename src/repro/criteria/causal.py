@@ -27,15 +27,22 @@ def check_causal(
     adt: AbstractDataType,
     max_nodes: int = 200_000,
     jobs: Optional[int] = None,
+    order_heuristic: Optional[str] = None,
 ) -> CheckResult:
     """Decide ``H ∈ CC(T)`` by causal-order search.
 
-    ``jobs`` is accepted for interface uniformity with the CCv checker;
-    CC quantifies over causal orders only (one family search, no
-    total-order enumeration), so there is nothing to shard.
+    ``jobs`` and ``order_heuristic`` are accepted for interface
+    uniformity with the CCv checker; CC quantifies over causal orders
+    only (one family search, no total-order enumeration), so there is
+    nothing to shard or reorder.
     """
     certificate, stats = search_causal_order(
-        history, adt, "CC", max_nodes=max_nodes, jobs=jobs
+        history,
+        adt,
+        "CC",
+        max_nodes=max_nodes,
+        jobs=jobs,
+        order_heuristic=order_heuristic,
     )
     result_stats = {
         "families": stats.families_explored,

@@ -5,8 +5,13 @@ The CCv enumeration over total update orders is embarrassingly parallel:
 disjoint prefix subtrees whose concatenation reproduces the sequential
 enumeration, and each shard runs its own :meth:`CausalSearch.run_shard`
 with private memos (dropping cross-shard cache sharing; the cross-*order*
-caches inside one shard do the heavy lifting).  This module schedules the
-shards and merges the outcomes:
+caches inside one shard do the heavy lifting).  Sharding happens in
+*priority space*: the order space is first re-indexed through the
+search's witness-guided priority permutation (a pure function of the
+instance — driver and workers compute it independently and agree), so
+the early shards hold the semantically likely witnesses and the shard
+structure stays bit-identical at every worker count.  This module
+schedules the shards and merges the outcomes:
 
 - **Waves.**  Shards are processed in fixed-size waves (``_WAVE`` — a
   constant, deliberately *not* a function of ``jobs``).  ``jobs > 1``
@@ -59,7 +64,11 @@ import multiprocessing
 import os
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from ..util.orders import count_linear_extensions, shard_prefixes
+from ..util.orders import (
+    count_linear_extensions,
+    permute_relation,
+    shard_prefixes,
+)
 from .causal_search import (
     CausalCertificate,
     CausalSearch,
@@ -100,6 +109,7 @@ def _shard_worker(job: Tuple) -> ShardOutcome:
         max_total_orders,
         seed_semantic,
         conflict_cut,
+        order_heuristic,
         family0,
         prefix,
         imported_sigs,
@@ -113,6 +123,7 @@ def _shard_worker(job: Tuple) -> ShardOutcome:
         max_total_orders=max_total_orders,
         seed_semantic=seed_semantic,
         conflict_cut=conflict_cut,
+        order_heuristic=order_heuristic,
     )
     return search.run_shard(
         prefix=prefix,
@@ -153,8 +164,9 @@ def _close_pools() -> None:
 atexit.register(_close_pools)
 
 
-def _wave_outcomes(payloads: List[Tuple], jobs: int) -> Iterator[ShardOutcome]:
-    """Execute one wave: concurrently over the pool, lazily in-process.
+class _Wave:
+    """One wave's outcome stream: concurrently over the pool, lazily
+    in-process.
 
     Both paths yield outcomes in shard order, which is all the driver's
     determinism needs.  In-process, an unconsumed shard never executes
@@ -162,14 +174,44 @@ def _wave_outcomes(payloads: List[Tuple], jobs: int) -> Iterator[ShardOutcome]:
     ``imap`` (not ``map``) lets the driver stop waiting as soon as the
     witnessing shard and its predecessors are in, instead of stalling on
     the slowest wave-mate whose outcome would be discarded anyway.
+
+    A pooled wave must be :meth:`drain`-ed when the driver stops
+    consuming it early (witness found mid-wave, or a budget replay
+    raised): ``imap`` submitted every shard to the shared pool up front,
+    so without the drain the abandoned wave-mates would keep occupying
+    the workers and the *next* search — e.g. the following history of a
+    sweep — would queue its first wave behind dead work.  Draining
+    discards the wave-mates' outcomes unseen, so observable verdicts,
+    certificates and stats stay bit-identical to ``jobs=1`` (where the
+    unconsumed shards never ran at all).
     """
-    if jobs > 1 and len(payloads) > 1:
-        yield from _shared_pool(jobs).imap(
-            _shard_worker, payloads, chunksize=1
-        )
-    else:
-        for payload in payloads:
-            yield _shard_worker(payload)
+
+    def __init__(self, payloads: List[Tuple], jobs: int) -> None:
+        self._pooled = jobs > 1 and len(payloads) > 1
+        if self._pooled:
+            self._outcomes: Iterator[ShardOutcome] = _shared_pool(jobs).imap(
+                _shard_worker, payloads, chunksize=1
+            )
+        else:
+            self._outcomes = map(_shard_worker, payloads)
+
+    def __iter__(self) -> Iterator[ShardOutcome]:
+        return self._outcomes
+
+    def drain(self) -> None:
+        """Wait out any still-running wave-mates (pool path only — the
+        lazy in-process path must *not* execute unconsumed shards)."""
+        if not self._pooled:
+            return
+        while True:
+            try:
+                next(self._outcomes)
+            except StopIteration:
+                return
+            except Exception:
+                # a crashed wave-mate's outcome would have been discarded
+                # unseen; its exception is equally invisible at jobs=1
+                continue
 
 
 # ----------------------------------------------------------------------
@@ -196,6 +238,11 @@ def run_ccv_sharded(
     overwritten) and attaches the per-shard breakdown as
     ``search.stats.per_shard``.
     """
+    if jobs < 1:
+        raise ValueError(
+            f"jobs must be a positive worker count, got {jobs} "
+            "(CLI front-ends map 0 to the host size via resolve_jobs())"
+        )
     family0 = search._initial_family()
     if family0 is None:
         return None
@@ -213,8 +260,15 @@ def run_ccv_sharded(
         certificate, _, _ = _judge(search, outcome, 0, 0)
         return certificate
 
+    # shard in priority space: prefixes address subtrees of the
+    # witness-guided enumeration, so "shard order" below means
+    # "priority enumeration order" (workers recompute the same
+    # permutation from the instance and interpret the prefixes in it)
+    perm = search.priority_permutation()
     prefixes, prefix_pruned = shard_prefixes(
-        induced, base=search.upd_po, target=_SHARD_TARGET
+        permute_relation(induced, perm),
+        base=permute_relation(search.upd_po, perm),
+        target=_SHARD_TARGET,
     )
     search.stats.orders_pruned += prefix_pruned
     imported: List[int] = []
@@ -235,6 +289,7 @@ def run_ccv_sharded(
                 search.max_total_orders,
                 search.seed_semantic,
                 search.conflict_cut,
+                search.order_heuristic,
                 tuple(family0),
                 prefix,
                 tuple(imported),
@@ -243,22 +298,29 @@ def run_ccv_sharded(
             for i, prefix in enumerate(wave)
         ]
         outcomes: List[ShardOutcome] = []
-        for oc, prefix in zip(_wave_outcomes(payloads, jobs), wave):
-            outcomes.append(oc)
-            search.stats.merge(oc.stats)
-            per_shard.append(_shard_summary(oc, len(prefix)))
-            result, cum_orders, cum_families = _judge(
-                search, oc, cum_orders, cum_families
-            )
-            if result is not None:
-                certificate = result
-                found = True
-                # stop consuming: in-process, the rest of the wave never
-                # executes (the sequential engine stops at its witness);
-                # a pool ran the wave-mates concurrently, but their
-                # outcomes are discarded, so observable stats stay
-                # bit-identical at every worker count
-                break
+        wave_stream = _Wave(payloads, jobs)
+        try:
+            for oc, prefix in zip(wave_stream, wave):
+                outcomes.append(oc)
+                search.stats.merge(oc.stats)
+                per_shard.append(_shard_summary(oc, len(prefix)))
+                result, cum_orders, cum_families = _judge(
+                    search, oc, cum_orders, cum_families
+                )
+                if result is not None:
+                    certificate = result
+                    found = True
+                    # stop consuming: in-process, the rest of the wave
+                    # never executes (the sequential engine stops at its
+                    # witness); a pool ran the wave-mates concurrently,
+                    # but their outcomes are discarded, so observable
+                    # stats stay bit-identical at every worker count
+                    break
+        finally:
+            # whether the wave completed, found its witness mid-wave, or
+            # a budget replay raised: never leave wave-mates running in
+            # the shared pool, or the next search queues behind them
+            wave_stream.drain()
         if found:
             break
         # wave boundary: pool the newly learned signatures for the next
@@ -301,6 +363,10 @@ def _judge(
             raise SearchBudgetExceeded(
                 f"more than {search.max_total_orders} total update orders"
             )
+        # the witness's 1-based rank in the deterministic enumeration
+        # order — the quantity the witness-guided heuristic minimises;
+        # computed from the cumulative replay, so jobs-independent
+        search.stats.orders_to_witness = orders_at
         return outcome.certificate, cum_orders, cum_families
     cum_orders += outcome.orders_tried
     cum_families += outcome.families
@@ -321,6 +387,15 @@ def default_jobs() -> int:
 
 
 def resolve_jobs(jobs: Optional[int]) -> Optional[int]:
-    """Resolve a CLI ``--jobs`` value: ``0`` means host-sized, anything
-    else (including ``None``) passes through unchanged."""
+    """Resolve a CLI ``--jobs`` value: ``0`` means host-sized, ``None``
+    and positive counts pass through unchanged.
+
+    Negative values are rejected *here*, with a message naming the knob:
+    left alone they would flow into ``multiprocessing.Pool(processes=-1)``
+    and crash with an opaque ``ValueError`` deep inside the pool setup.
+    """
+    if jobs is not None and jobs < 0:
+        raise ValueError(
+            f"--jobs must be >= 0 (0 = one worker per host CPU), got {jobs}"
+        )
     return default_jobs() if jobs == 0 else jobs

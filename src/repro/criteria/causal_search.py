@@ -110,10 +110,41 @@ exactly the update pairs whose relative order caused the dead end.
 Soundness is regression-tested by re-running pruned orders against the
 un-cut reference engine in ``tests/test_search_perf.py``.
 
+Witness-guided enumeration order
+--------------------------------
+On *satisfiable* instances the first total order worth trying is rarely
+the lexicographic one: a semantically plausible order — one extending
+the observed broadcast timestamps of the recorded execution — usually
+IS a witness, because the replication algorithms deliver updates in
+an order correlated with real time.  The search therefore derives a
+**priority permutation** of the update positions as a pure function of
+the instance: sort by ``(timestamp, event id)`` where the timestamp is
+the event's recorded invocation time (``History.times``) when the
+history was recorded from an execution, falling back to the event's
+program-order depth (its index in its process — a round-robin virtual
+timestamp) for histories without recorded times, with the event id
+breaking ties.  The total-order space is then *re-indexed* through that
+permutation (:func:`repro.util.orders.permute_relation`) and enumerated
+lexicographically in priority space, so the greedy first order is the
+timestamp-sorted legal extension and its neighbourhood comes next.
+Everything downstream of the enumerator — K5 ranks, violation masks,
+failure signatures, certificates — still speaks update *positions*:
+each yielded priority sequence is translated back through the
+permutation before use.
+
+Because the permutation depends only on ``(history, adt, heuristic)``,
+the enumeration order — and with it the deterministic certificate
+tie-break ("first witnessing order in enumeration order") and the shard
+structure below — remains a fixed function of the instance, independent
+of worker count.  ``order_heuristic="lex"`` selects the identity
+permutation, reproducing PR 3's lexicographic enumeration (and its
+certificates) exactly.
+
 Sharded enumeration
 -------------------
 The total-order space is partitioned into disjoint prefix shards
-(:func:`repro.util.orders.shard_prefixes`) processed in fixed *waves*;
+(:func:`repro.util.orders.shard_prefixes`, applied in priority space)
+processed in fixed *waves*;
 ``jobs > 1`` maps a wave onto a ``multiprocessing`` pool (the pattern of
 ``scenarios/matrix.py``), ``jobs = 1`` runs the same waves in-process.
 Shard structure, per-shard signature learning and the wave-boundary
@@ -134,7 +165,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..core.adt import AbstractDataType
 from ..core.history import History
 from ..util.bitset import bit_list, bits
-from ..util.orders import LazyOrderEnumerator
+from ..util.orders import LazyOrderEnumerator, permute_relation
 from .engine import LinItem, LinearizationProblem
 
 
@@ -179,6 +210,13 @@ class SearchStats:
     orders skipped because they agreed with a learned failure signature;
     ``shards`` counts the prefix shards the enumeration was split into.
 
+    ``orders_to_witness`` is a *position*, not an additive counter: the
+    1-based rank, in the deterministic enumeration order, of the total
+    order that witnessed CCv (``None`` when no witness was found, or for
+    WCC/CC).  It is what the witness-guided heuristic optimises, it is
+    set by the sharded driver from the cumulative budget replay, and
+    :meth:`merge` deliberately leaves it alone.
+
     A sharded search produces one ``SearchStats`` per shard; the driver
     sums them with :meth:`merge` (every counter is additive — nothing is
     last-writer-wins) and attaches the per-shard breakdown under
@@ -194,6 +232,7 @@ class SearchStats:
     orders_pruned: int = 0
     conflict_cuts: int = 0
     shards: int = 0
+    orders_to_witness: Optional[int] = None
     per_shard: Optional[List[Dict[str, int]]] = None
 
     _COUNTERS = (
@@ -248,12 +287,22 @@ _SIG_EXPORT_CAP = 24
 _NO_ENTRY = object()
 
 
+#: valid ``order_heuristic`` values: ``"timestamps"`` enumerates total
+#: update orders through the witness-guided priority permutation (the
+#: default); ``"lex"`` is the PR 3 lexicographic escape hatch.
+ORDER_HEURISTICS = ("timestamps", "lex")
+
+
 class CausalSearch:
     """One search instance per (history, adt, mode).
 
     ``conflict_cut`` / ``cross_order_caching`` gate the failure-signature
     pruning and the rank-free branch cache; both default on and are only
     disabled by reference oracles (tests) and ablation benchmarks.
+    ``order_heuristic`` picks the CCv total-order enumeration order (see
+    the module docstring); either value yields the same verdict, but the
+    certificate tie-break — and therefore the certificate — may differ
+    between heuristics, while staying deterministic within one.
     """
 
     def __init__(
@@ -266,9 +315,17 @@ class CausalSearch:
         seed_semantic: bool = True,
         conflict_cut: bool = True,
         cross_order_caching: bool = True,
+        order_heuristic: str = "timestamps",
     ) -> None:
         if mode not in ("WCC", "CC", "CCV"):
             raise ValueError(f"unknown mode {mode!r}")
+        if order_heuristic not in ORDER_HEURISTICS:
+            raise ValueError(
+                f"unknown order heuristic {order_heuristic!r}; "
+                f"known: {', '.join(ORDER_HEURISTICS)}"
+            )
+        self.order_heuristic = order_heuristic
+        self._priority_cache: Optional[List[int]] = None
         self.history = history
         self.adt = adt
         self.mode = mode
@@ -378,6 +435,42 @@ class CausalSearch:
         }
 
     # ------------------------------------------------------------------
+    # Witness-guided priority (CCv enumeration order)
+    # ------------------------------------------------------------------
+    def priority_permutation(self) -> List[int]:
+        """The priority permutation of update positions: ``perm[k]`` is
+        the update position enumerated at priority rank ``k``.
+
+        A pure function of ``(history, heuristic)`` — it depends on the
+        recorded timestamps (or the program-order depths standing in for
+        them) and the event ids, never on shard layout or worker count —
+        so the driver and every shard worker independently compute the
+        same permutation, which is what keeps the sharded enumeration
+        (and the certificate tie-break it defines) deterministic.
+        """
+        cached = self._priority_cache
+        if cached is not None:
+            return cached
+        if self.order_heuristic == "lex":
+            perm = list(range(self.m))
+        else:
+            times = self.history.times
+            past_mask = self.history.past_mask
+            updates = self.updates
+
+            def observed_key(pu: int) -> Tuple[float, int]:
+                u = updates[pu]
+                # recorded broadcast/invocation time when available;
+                # otherwise po-depth (the event's index in its process),
+                # a round-robin virtual timestamp; event id breaks ties
+                t = times[u] if times is not None else past_mask(u).bit_count()
+                return (t, u)
+
+            perm = sorted(range(self.m), key=observed_key)
+        self._priority_cache = perm
+        return perm
+
+    # ------------------------------------------------------------------
     # Entry points
     # ------------------------------------------------------------------
     def run(self, jobs: int = 1) -> Optional[CausalCertificate]:
@@ -411,9 +504,15 @@ class CausalSearch:
         order induced by the initial family — it is contained in every
         witnessing family, so orders contradicting it cannot succeed.
         K1+K3 closure makes the induced relation transitively closed and
-        K4 makes it acyclic, so it is a valid refinement base.  ``prefix``
-        restricts the stream to one subtree of that enumeration (the
-        empty prefix is the whole space); ``imported_sigs`` seeds the
+        K4 makes it acyclic, so it is a valid refinement base.  The
+        enumeration runs in *priority space*: the refinement base is
+        re-indexed through :meth:`priority_permutation` and walked
+        lexicographically there, so the first orders tried extend the
+        observed timestamps; yielded sequences are translated back to
+        update positions before anything downstream sees them.
+        ``prefix`` restricts the stream to one subtree of that
+        priority-space enumeration (the empty prefix is the whole
+        space); ``imported_sigs`` seeds the
         conflict cut with failure signatures learned elsewhere (sound
         regardless of origin: a signature is a property of the instance,
         not of the shard that learned it).
@@ -440,9 +539,10 @@ class CausalSearch:
             )
         base_family = tuple(family0)
         induced = [family0[u] for u in self.updates]
+        perm = self.priority_permutation()
         enumerator = LazyOrderEnumerator(
-            induced,
-            base=self.upd_po,
+            permute_relation(induced, perm),
+            base=permute_relation(self.upd_po, perm),
             limit=self.max_total_orders,
             prefix=prefix,
         )
@@ -455,7 +555,10 @@ class CausalSearch:
         orders_at: Optional[int] = None
         families_at: Optional[int] = None
         exceeded = False
-        for order in enumerator:
+        for priority_order in enumerator:
+            # back from priority ranks to update positions: ranks, masks,
+            # signatures and certificates all live in position space
+            order = [perm[k] for k in priority_order]
             count += 1
             # rank + violation mask (all pairs this order reverses) in
             # one O(m) pass: when x arrives, `seen` holds everything
@@ -1080,13 +1183,23 @@ def search_causal_order(
     mode: str,
     max_nodes: int = 200_000,
     jobs: Optional[int] = None,
+    order_heuristic: Optional[str] = None,
 ) -> Tuple[Optional[CausalCertificate], SearchStats]:
     """Decide WCC/CC/CCv membership; returns (certificate-or-None, stats).
 
     ``jobs`` (CCv only) shards the total-order enumeration over that many
     worker processes; ``None``/``1`` stays in-process.  Verdicts,
     certificates and stats are identical at every worker count.
+    ``order_heuristic`` (CCv only, default ``"timestamps"``) picks the
+    enumeration order: witness-guided, or ``"lex"`` for PR 3's
+    lexicographic order.  The verdict is heuristic-independent.
     """
-    search = CausalSearch(history, adt, mode.upper(), max_nodes=max_nodes)
+    search = CausalSearch(
+        history,
+        adt,
+        mode.upper(),
+        max_nodes=max_nodes,
+        order_heuristic=order_heuristic or "timestamps",
+    )
     certificate = search.run(jobs=jobs or 1)
     return certificate, search.stats

@@ -23,13 +23,21 @@ def check_convergence(
     adt: AbstractDataType,
     max_nodes: int = 200_000,
     jobs: Optional[int] = None,
+    order_heuristic: Optional[str] = None,
 ) -> CheckResult:
     """Decide ``H ∈ CCv(T)``: enumerate total update orders extending the
     program order, then search causal pasts as for WCC.  ``jobs`` shards
     the enumeration over worker processes (same verdict, certificate and
-    counters at any count)."""
+    counters at any count); ``order_heuristic`` picks the enumeration
+    order (``"timestamps"`` = witness-guided default, ``"lex"`` =
+    lexicographic) — the verdict is the same either way."""
     certificate, stats = search_causal_order(
-        history, adt, "CCV", max_nodes=max_nodes, jobs=jobs
+        history,
+        adt,
+        "CCV",
+        max_nodes=max_nodes,
+        jobs=jobs,
+        order_heuristic=order_heuristic,
     )
     result_stats = {
         "families": stats.families_explored,
@@ -40,6 +48,7 @@ def check_convergence(
         "orders_pruned": stats.orders_pruned,
         "conflict_cuts": stats.conflict_cuts,
         "shards": stats.shards,
+        "orders_to_witness": stats.orders_to_witness,
     }
     if certificate is None:
         return CheckResult(

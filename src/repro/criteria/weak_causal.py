@@ -25,13 +25,20 @@ def check_weak_causal(
     adt: AbstractDataType,
     max_nodes: int = 200_000,
     jobs: Optional[int] = None,
+    order_heuristic: Optional[str] = None,
 ) -> CheckResult:
     """Decide ``H ∈ WCC(T)`` by causal-order search (see
     :mod:`repro.criteria.causal_search` for the algorithm and its
-    completeness argument).  ``jobs`` is accepted for interface
-    uniformity; WCC has no total-order enumeration to shard."""
+    completeness argument).  ``jobs`` and ``order_heuristic`` are
+    accepted for interface uniformity; WCC has no total-order
+    enumeration to shard or reorder."""
     certificate, stats = search_causal_order(
-        history, adt, "WCC", max_nodes=max_nodes, jobs=jobs
+        history,
+        adt,
+        "WCC",
+        max_nodes=max_nodes,
+        jobs=jobs,
+        order_heuristic=order_heuristic,
     )
     result_stats = {
         "families": stats.families_explored,

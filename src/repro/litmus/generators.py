@@ -44,6 +44,53 @@ def _interleaving_prefix_state(
     return state
 
 
+def recorded_window_history(
+    rng: random.Random,
+    processes: int = 3,
+    ops_per_process: int = 4,
+    update_prob: float = 0.6,
+    k: int = 2,
+    values: Sequence[int] = (1, 2, 3),
+    max_lag: float = 3.0,
+) -> Tuple[History, WindowStream]:
+    """A timed W_k history *recorded* from a simulated plausible run.
+
+    One global interleaving assigns every operation a distinct
+    invocation timestamp; replicas apply writes in global-time order
+    behind a monotone per-process lag (knowledge never goes backwards),
+    and each read returns the replay of exactly the writes it has seen.
+    The timestamp order on updates is therefore a CCv witness by
+    construction, and the history goes through
+    :class:`repro.runtime.recorder.HistoryRecorder` so the observed
+    times reach ``History.times`` by the production path — this is the
+    population the witness-guided CCv enumeration order is measured on
+    (both by ``benchmarks/bench_search_scaling.py``'s ``sat-*`` sweep
+    cells and by ``tests/test_search_perf.py``).
+    """
+    from ..runtime.recorder import HistoryRecorder
+
+    adt = WindowStream(k)
+    recorder = HistoryRecorder(processes)
+    sequence = [p for p in range(processes) for _ in range(ops_per_process)]
+    rng.shuffle(sequence)  # per-process subsequences keep their row order
+    writes: List[Tuple[float, int, Invocation]] = []  # time-sorted
+    cuts = [0.0] * processes  # monotone visibility horizon per process
+    for position, p in enumerate(sequence):
+        t = float(position + 1)
+        if rng.random() < update_prob:
+            invocation = Invocation("w", (rng.choice(values),))
+            writes.append((t, p, invocation))
+            recorder.record(p, invocation, BOTTOM, t, t + 0.5)
+        else:
+            cuts[p] = max(cuts[p], t - rng.uniform(0.0, max_lag))
+            state = adt.initial_state()
+            for wt, wp, winv in writes:
+                if wt <= cuts[p] or wp == p:
+                    state = adt.transition(state, winv)
+            recorder.record(p, Invocation("r"), state, t, t + 0.5)
+    return recorder.to_history(), adt
+
+
 def random_window_history(
     rng: random.Random,
     processes: int = 2,

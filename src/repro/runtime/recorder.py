@@ -61,13 +61,17 @@ class HistoryRecorder:
     # ------------------------------------------------------------------
     def to_history(self) -> History:
         """The recorded distributed history (empty rows are dropped so the
-        maximal-chain structure matches the active processes)."""
-        rows = [
-            [Operation(r.invocation, r.output) for r in row]
-            for row in self.rows
-            if row
-        ]
-        return History.from_processes(rows)
+        maximal-chain structure matches the active processes).
+
+        Invocation timestamps travel along as ``History.times`` — for an
+        update that is the moment its broadcast was issued, which the CCv
+        checker's witness-guided enumeration uses to pick the first total
+        update orders to try.
+        """
+        kept = [row for row in self.rows if row]
+        rows = [[Operation(r.invocation, r.output) for r in row] for row in kept]
+        times = [[r.start for r in row] for row in kept]
+        return History.from_processes(rows, times=times)
 
     def stable_eids(self) -> Set[int]:
         """Event ids (in :meth:`to_history` numbering) of stable records."""

@@ -69,12 +69,15 @@ class LazyOrderEnumerator:
     causal edge is pruned at the earliest possible prefix.
 
     ``prefix`` restricts the enumeration to the extensions *starting
-    with* that exact element sequence (which must itself be a legal
+    with* that exact element sequence, which must itself be a legal
     extension prefix of ``refined`` — :func:`shard_prefixes` produces
-    such prefixes).  Disjoint prefixes enumerate disjoint sets of
-    extensions, which is what lets the CCv search shard the total-order
-    space across workers: concatenating the per-prefix streams in
-    :func:`shard_prefixes` order reproduces the unsharded stream.
+    such prefixes, and anything else raises ``ValueError`` at
+    construction (a silent empty or wrong subtree here would corrupt a
+    sharded verdict, so malformed prefixes fail loudly instead).
+    Disjoint prefixes enumerate disjoint sets of extensions, which is
+    what lets the CCv search shard the total-order space across workers:
+    concatenating the per-prefix streams in :func:`shard_prefixes` order
+    reproduces the unsharded stream.
 
     The traversal is an explicit-stack DFS mirroring the linearisation
     engine: frames are ``(consumed-mask, scan-position)`` and the current
@@ -92,8 +95,38 @@ class LazyOrderEnumerator:
         self.base = list(base) if base is not None else None
         self.limit = limit
         self.prefix = tuple(prefix)
+        self._check_prefix()
         self.pruned = 0
         self.yielded = 0
+
+    def _check_prefix(self) -> None:
+        """Reject a ``prefix`` that is not a legal extension prefix of
+        ``refined`` (out of range, repeated, or ordered against a
+        refined edge): such a prefix names no subtree of the
+        enumeration, so continuing would silently enumerate a wrong —
+        possibly empty — set of extensions."""
+        n = len(self.refined)
+        consumed = 0
+        for depth, i in enumerate(self.prefix):
+            if not 0 <= i < n:
+                raise ValueError(
+                    f"prefix position {depth}: element {i} out of range "
+                    f"for {n} elements"
+                )
+            bit = 1 << i
+            if consumed & bit:
+                raise ValueError(
+                    f"prefix position {depth}: element {i} repeated"
+                )
+            missing = self.refined[i] & ~consumed
+            if missing:
+                preds = [b for b in range(n) if (missing >> b) & 1]
+                raise ValueError(
+                    f"prefix position {depth}: element {i} placed before "
+                    f"its predecessors {preds} — not an extension prefix "
+                    "of the refined order"
+                )
+            consumed |= bit
 
     def __iter__(self) -> Iterator[List[int]]:
         # each traversal restarts the counters: re-iterating must yield
@@ -131,6 +164,37 @@ class LazyOrderEnumerator:
                 stack.append((consumed | bit, 0))
                 acc.append(i)
                 break
+
+
+def permute_relation(pred: Sequence[int], perm: Sequence[int]) -> List[int]:
+    """Re-index a predecessor-mask relation through a permutation.
+
+    ``perm[k]`` is the original element occupying *priority rank* ``k``;
+    the result describes the same relation over priority ranks:
+    ``out[k]`` has bit ``j`` set iff ``pred[perm[k]]`` has bit
+    ``perm[j]`` set.  Linear extensions correspond one-to-one (map each
+    rank back through ``perm``), but their *lexicographic enumeration
+    order* changes — which is the whole point: the CCv search enumerates
+    in priority space so the semantically likely witnesses come first,
+    while the enumeration stays a deterministic function of
+    ``(pred, perm)`` alone.
+    """
+    n = len(pred)
+    if sorted(perm) != list(range(n)):
+        raise ValueError(f"perm is not a permutation of 0..{n - 1}")
+    inverse = [0] * n
+    for k, original in enumerate(perm):
+        inverse[original] = k
+    out = []
+    for k in range(n):
+        mask = 0
+        rest = pred[perm[k]]
+        while rest:
+            low = rest & -rest
+            rest ^= low
+            mask |= 1 << inverse[low.bit_length() - 1]
+        out.append(mask)
+    return out
 
 
 def shard_prefixes(

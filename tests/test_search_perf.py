@@ -21,7 +21,13 @@ refinement, sharded enumeration, shared linearisation caches) must be
    same verdicts, byte-identical certificates and byte-identical stats,
    with the multi-shard pool path actually exercised;
 5. conflict-cut soundness: every total order the cut skips, re-run
-   against the un-cut reference machinery, really does fail.
+   against the un-cut reference machinery, really does fail;
+6. witness-guided enumeration: the ``timestamps``/``lex`` heuristics
+   agree on every verdict, the priority permutation is a pure function
+   of the instance, recorded histories find their witness at order #1,
+   and the cumulative order/family budgets behave identically at every
+   worker count right at the boundary (witness found at exactly the
+   budget ⇒ success; one below ⇒ ``SearchBudgetExceeded``).
 """
 
 import random
@@ -31,6 +37,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.operations import BOTTOM, Invocation
 from repro.criteria import check, verify_certificate
 from repro.criteria.causal_search import (
     CausalSearch,
@@ -43,8 +50,13 @@ from repro.litmus.generators import (
     random_memory_history,
     random_queue_history,
     random_window_history,
+    recorded_window_history,
 )
-from repro.util.orders import topological_orders, transitive_closure
+from repro.util.orders import (
+    LazyOrderEnumerator,
+    topological_orders,
+    transitive_closure,
+)
 
 MODES = ("WCC", "CC", "CCV")
 
@@ -271,6 +283,374 @@ class TestParallelEquivalence:
         assert serial.stats == pooled.stats
         assert "conflict_cuts" in serial.stats
         assert serial.stats["shards"] >= 1
+
+
+# timed, CCv-satisfiable-by-construction histories through the real
+# recorder path — the same population the benchmark's ``sat-*`` cells
+# measure (see its docstring for the simulated-execution model)
+_recorded_history = recorded_window_history
+
+
+# ----------------------------------------------------------------------
+# 6a. witness-guided enumeration order
+# ----------------------------------------------------------------------
+class TestWitnessGuidedOrder:
+    def test_heuristics_agree_on_verdicts(self):
+        """``timestamps`` vs ``lex``: same verdict on every instance —
+        timed, untimed, satisfiable or not — and valid certificates from
+        both (the *certificates* may legitimately differ: the heuristic
+        redefines the deterministic tie-break)."""
+        rng = random.Random(2016)
+        populations = [_random_history(rng) for _ in range(12)] + [
+            _recorded_history(rng) for _ in range(8)
+        ]
+        for history, adt in populations:
+            certs = {}
+            for heuristic in ("timestamps", "lex"):
+                search = CausalSearch(
+                    history, adt, "CCV", order_heuristic=heuristic
+                )
+                cert = search.run()
+                if cert is not None:
+                    verify_certificate(history, adt, cert)
+                certs[heuristic] = cert
+            assert (certs["timestamps"] is None) == (
+                certs["lex"] is None
+            ), history
+
+    def test_recorded_histories_witness_first(self):
+        """On recorded histories the first order tried extends the
+        observed timestamps and explains the run: the witness position
+        is 1, and never worse than lexicographic enumeration."""
+        rng = random.Random(7)
+        first_hits = 0
+        for _ in range(10):
+            history, adt = _recorded_history(rng)
+            guided = CausalSearch(
+                history, adt, "CCV", order_heuristic="timestamps"
+            )
+            assert guided.run() is not None, history
+            lex = CausalSearch(history, adt, "CCV", order_heuristic="lex")
+            assert lex.run() is not None, history
+            assert guided.stats.orders_to_witness is not None
+            assert lex.stats.orders_to_witness is not None
+            assert (
+                guided.stats.orders_to_witness <= lex.stats.orders_to_witness
+            ), history
+            if guided.stats.orders_to_witness == 1:
+                first_hits += 1
+        assert first_hits >= 8  # the heuristic's whole point
+
+    def test_priority_permutation_pure_function(self):
+        """Two searches over the same instance compute the same
+        permutation; ``lex`` is the identity; untimed histories fall
+        back to po-depth-then-eid, which on chain histories is the
+        round-robin interleaving."""
+        rng = random.Random(3)
+        history, adt = _recorded_history(rng)
+        a = CausalSearch(history, adt, "CCV").priority_permutation()
+        b = CausalSearch(history, adt, "CCV").priority_permutation()
+        assert a == b
+        assert sorted(a) == list(range(len(a)))
+        lex = CausalSearch(history, adt, "CCV", order_heuristic="lex")
+        assert lex.priority_permutation() == list(range(lex.m))
+        # timed priority = sort updates by recorded invocation time
+        search = CausalSearch(history, adt, "CCV")
+        times = history.times
+        expected = sorted(
+            range(search.m),
+            key=lambda pu: (times[search.updates[pu]], search.updates[pu]),
+        )
+        assert search.priority_permutation() == expected
+        # untimed fallback: po-depth (row position), then event id
+        untimed, adt2 = _update_heavy_history(random.Random(5))
+        assert untimed.times is None
+        fallback = CausalSearch(untimed, adt2, "CCV")
+        expected = sorted(
+            range(fallback.m),
+            key=lambda pu: (
+                untimed.past_mask(fallback.updates[pu]).bit_count(),
+                fallback.updates[pu],
+            ),
+        )
+        assert fallback.priority_permutation() == expected
+
+    def test_unknown_heuristic_rejected(self):
+        history, adt = _random_history(random.Random(1))
+        with pytest.raises(ValueError, match="order heuristic"):
+            CausalSearch(history, adt, "CCV", order_heuristic="oracle")
+
+    def test_heuristic_jobs_equivalence(self):
+        """The witness-guided order keeps the PR 3 determinism anchor:
+        verdicts, certificates and stats (including the new
+        ``orders_to_witness``) bit-identical at jobs ∈ {1, 2, 4}, under
+        both heuristics, on timed histories."""
+        rng = random.Random(11)
+        for heuristic in ("timestamps", "lex"):
+            history, adt = _recorded_history(rng, processes=3, ops_per_process=5)
+            outcomes = {}
+            for jobs in (1, 2, 4):
+                search = CausalSearch(
+                    history, adt, "CCV", order_heuristic=heuristic
+                )
+                certificate = search.run(jobs=jobs)
+                outcomes[jobs] = (
+                    None if certificate is None else asdict(certificate),
+                    asdict(search.stats),
+                )
+            assert outcomes[1] == outcomes[2] == outcomes[4], heuristic
+
+    def test_recorder_threads_timestamps(self):
+        """``HistoryRecorder.to_history`` carries invocation start times
+        into ``History.times`` (empty rows dropped in both)."""
+        from repro.runtime.recorder import HistoryRecorder
+
+        recorder = HistoryRecorder(3)  # process 1 stays silent
+        recorder.record(0, Invocation("w", (1,)), BOTTOM, 0.5, 1.0)
+        recorder.record(2, Invocation("r"), (0, 1), 2.25, 3.0)
+        recorder.record(0, Invocation("r"), (0, 1), 4.125, 5.0)
+        history = recorder.to_history()
+        assert len(history) == 3
+        assert history.times == (0.5, 4.125, 2.25)
+        assert history.time_of(2) == 2.25
+
+    def test_history_times_validation(self):
+        from repro.core import History, Operation
+
+        row = [
+            Operation(Invocation("w", (1,)), BOTTOM),
+            Operation(Invocation("r"), (0, 1)),
+        ]
+        with pytest.raises(ValueError, match="timestamps"):
+            History.from_processes([row], times=[[1.0]])
+        history = History.from_processes([row])
+        assert history.times is None and history.time_of(0) is None
+        timed = History.from_processes([row], times=[[1.0, 2.0]])
+        assert timed.times == (1.0, 2.0)
+
+
+# ----------------------------------------------------------------------
+# 6b. budget-replay boundary: exact-budget witness + jobs parity
+# ----------------------------------------------------------------------
+def _boundary_instance():
+    """A deterministic satisfiable CCv instance whose witness (under the
+    ``lex`` heuristic, to keep the witness position > 1) sits a few
+    orders into a multi-shard enumeration."""
+    rng = random.Random(31)
+    for _ in range(60):
+        history, adt = _recorded_history(rng, processes=3, ops_per_process=5)
+        search = CausalSearch(history, adt, "CCV", order_heuristic="lex")
+        try:
+            certificate = search.run(jobs=1)
+        except SearchBudgetExceeded:
+            continue
+        if (
+            certificate is not None
+            and (search.stats.orders_to_witness or 0) > 1
+            and search.stats.shards > 1
+        ):
+            return history, adt, certificate, search.stats
+    raise AssertionError("no boundary instance found")
+
+
+class TestBudgetReplayBoundary:
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_witness_at_exact_order_budget(self, jobs):
+        """``max_total_orders`` equal to the witness position: found;
+        one less: ``SearchBudgetExceeded`` — identically at every
+        worker count (the driver replays the cumulative sequential
+        budget over the shard tallies)."""
+        history, adt, certificate, stats = _boundary_instance()
+        witness_at = stats.orders_to_witness
+        exact = CausalSearch(
+            history, adt, "CCV", order_heuristic="lex",
+            max_total_orders=witness_at,
+        )
+        found = exact.run(jobs=jobs)
+        assert found is not None
+        assert asdict(found) == asdict(certificate)
+        assert exact.stats.orders_to_witness == witness_at
+        starved = CausalSearch(
+            history, adt, "CCV", order_heuristic="lex",
+            max_total_orders=witness_at - 1,
+        )
+        with pytest.raises(SearchBudgetExceeded):
+            starved.run(jobs=jobs)
+
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_witness_at_exact_family_budget(self, jobs):
+        """Same boundary for the cumulative family budget: the witness
+        is reached at exactly ``families_explored`` families, so that
+        value as ``max_nodes`` succeeds and one less raises — at every
+        worker count."""
+        history, adt, certificate, stats = _boundary_instance()
+        families_at = stats.families_explored
+        exact = CausalSearch(
+            history, adt, "CCV", order_heuristic="lex",
+            max_nodes=families_at,
+        )
+        found = exact.run(jobs=jobs)
+        assert found is not None
+        assert asdict(found) == asdict(certificate)
+        starved = CausalSearch(
+            history, adt, "CCV", order_heuristic="lex",
+            max_nodes=families_at - 1,
+        )
+        with pytest.raises(SearchBudgetExceeded):
+            starved.run(jobs=jobs)
+
+    def test_budget_parity_across_jobs(self):
+        """Sweeping the order budget through the interesting range:
+        every value classifies identically (witness / budget trip) at
+        jobs ∈ {1, 2, 4}."""
+        history, adt, certificate, stats = _boundary_instance()
+        for budget in range(1, stats.orders_to_witness + 2):
+            outcomes = {}
+            for jobs in (1, 2, 4):
+                search = CausalSearch(
+                    history, adt, "CCV", order_heuristic="lex",
+                    max_total_orders=budget,
+                )
+                try:
+                    result = search.run(jobs=jobs)
+                except SearchBudgetExceeded:
+                    outcomes[jobs] = "budget-exceeded"
+                else:
+                    outcomes[jobs] = (
+                        None if result is None else asdict(result),
+                        asdict(search.stats),
+                    )
+            assert outcomes[1] == outcomes[2] == outcomes[4], budget
+
+
+# ----------------------------------------------------------------------
+# 6c. satellite regressions: jobs validation, prefix validation, drain
+# ----------------------------------------------------------------------
+class TestJobsValidation:
+    def test_resolve_jobs_rejects_negative(self):
+        from repro.criteria.causal_parallel import default_jobs, resolve_jobs
+
+        with pytest.raises(ValueError, match="--jobs must be >= 0"):
+            resolve_jobs(-1)
+        assert resolve_jobs(0) == default_jobs()
+        assert resolve_jobs(None) is None
+        assert resolve_jobs(3) == 3
+
+    def test_run_rejects_non_positive_jobs(self):
+        history, adt = _update_heavy_history(random.Random(5))
+        for jobs in (0, -2):
+            with pytest.raises(ValueError, match="jobs"):
+                CausalSearch(history, adt, "CCV").run(jobs=jobs)
+
+    def test_cli_rejects_negative_jobs(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["classify", "h.json", "--jobs", "-1"])
+        args = parser.parse_args(["classify", "h.json", "--jobs", "0"])
+        assert args.jobs == 0
+
+
+class TestPrefixValidation:
+    def test_illegal_prefixes_raise(self):
+        # chain 0 < 1 < 2 (closed masks)
+        refined = [0b000, 0b001, 0b011]
+        with pytest.raises(ValueError, match="out of range"):
+            LazyOrderEnumerator(refined, prefix=(3,))
+        with pytest.raises(ValueError, match="repeated"):
+            LazyOrderEnumerator(refined, prefix=(0, 0))
+        with pytest.raises(ValueError, match="extension prefix"):
+            LazyOrderEnumerator(refined, prefix=(1,))
+        with pytest.raises(ValueError, match="extension prefix"):
+            LazyOrderEnumerator(refined, prefix=(0, 2))
+
+    def test_legal_prefixes_still_shard_the_stream(self):
+        from repro.util.orders import shard_prefixes
+
+        rng = random.Random(13)
+        history, adt = _update_heavy_history(rng)
+        search = CausalSearch(history, adt, "CCV")
+        family0 = search._initial_family()
+        induced = [family0[u] for u in search.updates]
+        whole = [tuple(o) for o in LazyOrderEnumerator(induced)]
+        prefixes, _ = shard_prefixes(induced, target=8)
+        sharded = [
+            tuple(o)
+            for prefix in prefixes
+            for o in LazyOrderEnumerator(induced, prefix=prefix)
+        ]
+        assert sharded == whole
+
+
+class TestWaveDrain:
+    @staticmethod
+    def _mid_wave_instance():
+        """A timed history whose witness sits in an early shard of a
+        multi-payload first wave, so wave-mates are genuinely abandoned
+        mid-flight at jobs>1."""
+        from repro.criteria.causal_parallel import _WAVE
+        from repro.util.orders import (
+            count_linear_extensions,
+            permute_relation,
+            shard_prefixes,
+        )
+
+        rng = random.Random(11)
+        for _ in range(40):
+            history, adt = _recorded_history(
+                rng, processes=3, ops_per_process=5
+            )
+            probe = CausalSearch(history, adt, "CCV")
+            family0 = probe._initial_family()
+            if family0 is None:
+                continue
+            induced = [family0[u] for u in probe.updates]
+            if count_linear_extensions(induced, cap=33) <= 32:
+                continue  # the driver would take the single-shard shortcut
+            perm = probe.priority_permutation()
+            prefixes, _ = shard_prefixes(
+                permute_relation(induced, perm),
+                base=permute_relation(probe.upd_po, perm),
+            )
+            wave_size = min(_WAVE, len(prefixes))
+            if wave_size < 2:
+                continue
+            search = CausalSearch(history, adt, "CCV")
+            if search.run(jobs=1) is None:
+                continue
+            consumed = len(search.stats.per_shard or ())
+            if consumed < wave_size:  # witness mid-wave: mates abandoned
+                return history, adt
+        raise AssertionError("no mid-wave-witness instance found")
+
+    def test_pool_idle_after_mid_wave_witness(self):
+        """A witness landing mid-wave at jobs>1 must not leave wave-mates
+        running in the shared pool: the next search in a sweep would
+        queue behind the abandoned work.  After the run the pool's
+        result cache is empty (drained), and a second search on the same
+        pool still matches jobs=1."""
+        from repro.criteria import causal_parallel
+
+        history, adt = self._mid_wave_instance()
+        search = CausalSearch(history, adt, "CCV")
+        certificate = search.run(jobs=2)
+        assert certificate is not None
+        pool = causal_parallel._POOLS.get(2)
+        assert pool is not None  # the pooled wave really ran
+        cache = getattr(pool, "_cache", None)
+        if cache is not None:  # CPython implementation detail, but stable
+            assert len(cache) == 0
+        # the drained pool serves the next history cleanly
+        follow_up, adt2 = _recorded_history(random.Random(17))
+        again = CausalSearch(follow_up, adt2, "CCV")
+        pooled = again.run(jobs=2)
+        solo = CausalSearch(follow_up, adt2, "CCV")
+        sequential = solo.run(jobs=1)
+        assert (pooled is None) == (sequential is None)
+        if pooled is not None:
+            assert asdict(pooled) == asdict(sequential)
+        assert asdict(again.stats) == asdict(solo.stats)
 
 
 # ----------------------------------------------------------------------
