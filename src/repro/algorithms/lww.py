@@ -55,27 +55,63 @@ class LwwReplication(ReplicatedObject):
         ]
         self.logs: List[List[Tuple[LogKey, Invocation]]] = [[] for _ in range(self.n)]
         self._seq: List[int] = [0] * self.n
-        self._cache: List[Optional[Any]] = [None] * self.n
+        # incremental replay (ADT transitions are pure): _cache[pid] is
+        # the fold of logs[pid][:_applied[pid]], and _ckpts[pid][m] the
+        # fold of the first m*_CKPT entries.  Physical timestamps mean a
+        # remote update routinely lands *inside* the applied prefix (it
+        # was stamped before the deliveries already folded), so instead
+        # of replaying from scratch the fold rewinds to the last
+        # checkpoint at or below the insertion point — the replay per
+        # read is bounded by the checkpoint stride plus the reorder
+        # window, not by the log length
+        self._cache: List[Any] = [adt.initial_state() for _ in range(self.n)]
+        self._applied: List[int] = [0] * self.n
+        self._ckpts: List[List[Any]] = [
+            [adt.initial_state()] for _ in range(self.n)
+        ]
         self.broadcast = ReliableBroadcast(network, flood=flood)
         self.endpoints = [
             self.broadcast.endpoint(pid, self._receiver(pid)) for pid in range(self.n)
         ]
 
+    #: checkpoint stride of the incremental replay (log entries)
+    _CKPT = 32
+
     def _receiver(self, pid: int):
         def on_deliver(_origin: int, payload: Tuple[LogKey, Invocation]) -> None:
-            bisect.insort(self.logs[pid], payload)
-            self._cache[pid] = None
+            log = self.logs[pid]
+            i = bisect.bisect_right(log, payload)
+            log.insert(i, payload)
+            # invariant: len(_ckpts[pid]) == _applied[pid]//_CKPT + 1
+            # (checkpoints never extend past the applied prefix), so an
+            # insertion at i >= _applied[pid] invalidates nothing
+            if i < self._applied[pid]:
+                # the entry lands inside the applied prefix: rewind the
+                # fold to the last checkpoint not past the insertion
+                m = i // self._CKPT
+                ckpts = self._ckpts[pid]
+                del ckpts[m + 1 :]
+                self._applied[pid] = m * self._CKPT
+                self._cache[pid] = ckpts[m]
 
         return on_deliver
 
     def _state(self, pid: int) -> Any:
-        cached = self._cache[pid]
-        if cached is None:
-            state = self.adt.initial_state()
-            for _key, invocation in self.logs[pid]:
-                state = self.adt.transition(state, invocation)
-            self._cache[pid] = cached = state
-        return cached
+        log = self.logs[pid]
+        applied = self._applied[pid]
+        state = self._cache[pid]
+        if applied < len(log):
+            stride = self._CKPT
+            ckpts = self._ckpts[pid]
+            transition = self.adt.transition
+            for j in range(applied, len(log)):
+                state = transition(state, log[j][1])
+                nxt = j + 1
+                if nxt % stride == 0 and len(ckpts) == nxt // stride:
+                    ckpts.append(state)
+            self._cache[pid] = state
+            self._applied[pid] = len(log)
+        return state
 
     def invoke(
         self, pid: int, invocation: Invocation, callback: Optional[Callback] = None

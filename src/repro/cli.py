@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -209,14 +210,18 @@ def _format_work(stats: Dict[str, Any]) -> str:
 
 def cmd_explore(args: argparse.Namespace) -> int:
     from .scenarios import (
+        SCALE_SCENARIOS,
+        MatrixPool,
+        algorithm_names,
         format_matrix_report,
         get_scenario,
         run_matrix,
         scenario_names,
     )
+    from .scenarios.matrix import SCALE_ALGORITHMS
 
     if args.list:
-        for name in scenario_names():
+        for name in scenario_names(include_scale=True):
             spec = get_scenario(name)
             print(f"{name:24s} {spec.description}")
         return 0
@@ -224,13 +229,35 @@ def cmd_explore(args: argparse.Namespace) -> int:
         scenarios = None  # every registered scenario
     else:
         scenarios = args.scenario
-    report = run_matrix(
-        scenarios=scenarios,
-        algorithms=args.algorithm or None,
-        seeds=args.seeds,
-        jobs=args.jobs,
-        fast=args.fast,
-    )
+    # one worker pool serves every sweep of this invocation (the default
+    # sweep and, with --scale, the scale-up tier) — sized to the widest
+    # sweep so tiny selections don't fork a host-sized pool of idlers
+    n_scen = len(scenarios) if scenarios else len(scenario_names())
+    n_alg = len(args.algorithm) if args.algorithm else len(algorithm_names())
+    widest = n_scen * n_alg * args.seeds
+    if args.scale:
+        scale_algs = len(args.algorithm or SCALE_ALGORITHMS)
+        widest = max(widest, len(SCALE_SCENARIOS) * scale_algs * args.seeds)
+    jobs = args.jobs if args.jobs else (os.cpu_count() or 2)
+    with MatrixPool(min(jobs, max(1, widest))) as pool:
+        report = run_matrix(
+            scenarios=scenarios,
+            algorithms=args.algorithm or None,
+            seeds=args.seeds,
+            fast=args.fast,
+            pool=pool,
+        )
+        if args.scale:
+            scale_report = run_matrix(
+                scenarios=list(SCALE_SCENARIOS),
+                # without an explicit selection, only the algorithms whose
+                # criterion stays conclusive at 10k-op histories
+                algorithms=args.algorithm or list(SCALE_ALGORITHMS),
+                seeds=args.seeds,
+                fast=args.fast,
+                pool=pool,
+            )
+            report.cells.extend(scale_report.cells)
     print(format_matrix_report(report))
     if args.json:
         with open(args.json, "w") as fh:
@@ -343,6 +370,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--fast", action="store_true", help="shrunk smoke-sized workloads"
+    )
+    p.add_argument(
+        "--scale", action="store_true",
+        help="also run the 10k-op scale-up scenarios (scale-n8-hotkey, "
+        "scale-n12-hotkey) with the convergence-checkable algorithms",
     )
     p.add_argument("--json", help="also dump the report as JSON to FILE")
     p.add_argument(

@@ -4,6 +4,7 @@ from .broadcast import (
     BroadcastService,
     CausalBroadcast,
     FifoBroadcast,
+    ReferenceCausalBroadcast,
     ReliableBroadcast,
     TotalOrderBroadcast,
 )
@@ -17,6 +18,7 @@ __all__ = [
     "BroadcastService",
     "CausalBroadcast",
     "FifoBroadcast",
+    "ReferenceCausalBroadcast",
     "ReliableBroadcast",
     "TotalOrderBroadcast",
     "LamportClock",

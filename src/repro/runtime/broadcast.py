@@ -23,11 +23,27 @@ We provide the full lattice used by the algorithms and baselines:
     delivered after a round trip through the sequencer, which is exactly
     why sequentially consistent objects cannot have latency independent of
     the network (Sec. 1, [3, 16]); the latency experiment E6 measures it.
+
+Throughput notes (PR 5).  Dedup bookkeeping is a per-(receiver, origin)
+*contiguous frontier* — pid has seen every message of ``origin`` below
+``_frontier[pid][origin]`` — plus a small spill set for out-of-order ids,
+so membership tests are O(1) without hashing on the common path and the
+seen-set no longer grows with the run.  A causal-stability sweep
+(:meth:`ReliableBroadcast._gc`) prunes from the anti-entropy logs every
+message whose id lies below *every* replica's frontier: such a message
+can never be resent by :meth:`ReliableBroadcast.resync` (the recovering
+replica has provably seen it), so long runs keep a bounded log.  Crashed
+replicas freeze their frontier, which automatically retains exactly the
+messages a recovering replica may still need.  Causal delivery is indexed
+(:class:`CausalBroadcast`): per-receiver deficit counters replace the
+quadratic re-scan, with the old drain kept as the executable spec
+(:class:`ReferenceCausalBroadcast`) for equivalence tests.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from functools import partial
+from heapq import heappop, heappush
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from .clocks import VectorClock
@@ -83,31 +99,94 @@ class ReliableBroadcast(BroadcastService):
     the broadcaster crashes mid-broadcast.  ``flood=False`` degrades to
     best-effort direct sends (n-1 messages instead of O(n^2)); the fault
     injection tests exercise the difference.
+
+    Memory stays bounded on long runs through causal-stability GC: every
+    ``GC_INTERVAL`` first-seen notes, messages below the *stability
+    frontier* (the per-origin minimum of all replicas' contiguous seen
+    frontiers — crashed replicas' frontiers freeze, so nothing a downed
+    replica still needs is touched) are pruned from the anti-entropy
+    logs.  :meth:`resync` is unaffected: a pruned message is, by
+    construction, already seen by every possible resync target.
     """
 
     name = "reliable"
 
+    #: first-seen notes between causal-stability GC sweeps
+    GC_INTERVAL = 1024
+
     def __init__(self, network: Network, flood: bool = True) -> None:
         super().__init__(network)
         self.flood = flood
-        self._seen: List[Set[Tuple[int, int]]] = [set() for _ in range(self.n)]
+        n = self.n
+        # dedup state: contiguous per-origin frontier + out-of-order spill
+        self._frontier: List[List[int]] = [[0] * n for _ in range(n)]
+        self._seen: List[Set[Tuple[int, int]]] = [set() for _ in range(n)]
         # every message each process has seen, in seen order — the
-        # substrate of crash-recovery anti-entropy (see resync)
-        self._log: List[List[Any]] = [[] for _ in range(self.n)]
-        self._next_id: List[int] = [0] * self.n
-        for pid in range(self.n):
-            network.attach(pid, self._make_receiver(pid))
+        # substrate of crash-recovery anti-entropy (see resync), pruned
+        # below the stability frontier by _gc
+        self._log: List[List[Any]] = [[] for _ in range(n)]
+        self._stable: List[int] = [0] * n
+        self._notes_since_gc = 0
+        self.gc_runs = 0
+        self.gc_pruned = 0
+        self._next_id: List[int] = [0] * n
+        for pid in range(n):
+            # partial dispatches through C, one frame cheaper than a
+            # per-pid closure on the hottest call path in the simulator
+            network.attach(pid, partial(self._receive, pid))
 
-    def _make_receiver(self, pid: int) -> Callable[[int, Any], None]:
-        def receive(src: int, message: Any) -> None:
-            self._receive(pid, message)
-
-        return receive
+    # ------------------------------------------------------------------
+    # Dedup bookkeeping
+    # ------------------------------------------------------------------
+    def _is_seen(self, pid: int, mid: Tuple[int, int]) -> bool:
+        return mid[1] < self._frontier[pid][mid[0]] or mid in self._seen[pid]
 
     def _note_seen(self, pid: int, message: Any) -> None:
-        self._seen[pid].add(message["id"])
+        mid = message["id"]
+        origin, seq = mid
+        frontier = self._frontier[pid]
+        if seq == frontier[origin]:
+            nxt = seq + 1
+            spill = self._seen[pid]
+            if spill:
+                while (origin, nxt) in spill:
+                    spill.discard((origin, nxt))
+                    nxt += 1
+            frontier[origin] = nxt
+        else:
+            self._seen[pid].add(mid)
         self._log[pid].append(message)
+        self._notes_since_gc += 1
+        if self._notes_since_gc >= self.GC_INTERVAL:
+            self._gc()
 
+    def _gc(self) -> None:
+        """Causal-stability sweep: prune log entries below every
+        replica's seen frontier (see class docstring)."""
+        self._notes_since_gc = 0
+        self.gc_runs += 1
+        n = self.n
+        frontiers = self._frontier
+        stable = [
+            min(frontiers[pid][origin] for pid in range(n))
+            for origin in range(n)
+        ]
+        if stable == self._stable:
+            return
+        self._stable = stable
+        for pid in range(n):
+            log = self._log[pid]
+            kept = [m for m in log if m["id"][1] >= stable[m["id"][0]]]
+            if len(kept) != len(log):
+                self.gc_pruned += len(log) - len(kept)
+                self._log[pid] = kept
+
+    def log_sizes(self) -> List[int]:
+        """Retained anti-entropy log entries per replica (observability:
+        the causal-stability GC keeps these bounded on long runs)."""
+        return [len(log) for log in self._log]
+
+    # ------------------------------------------------------------------
     def broadcast(self, pid: int, payload: Any) -> None:
         if self.network.is_crashed(pid):
             return
@@ -120,13 +199,12 @@ class ReliableBroadcast(BroadcastService):
         self._relay(pid, message)
 
     def _relay(self, pid: int, message: Any) -> None:
-        for dst in range(self.n):
-            if dst != pid:
-                self.network.send(pid, dst, message)
+        self.network.multicast(pid, message)
 
-    def _receive(self, pid: int, message: Any) -> None:
+    def _receive(self, pid: int, src: int, message: Any) -> None:
         mid = message["id"]
-        if mid in self._seen[pid]:
+        # inlined _is_seen (hot path) — keep in sync with that helper
+        if mid[1] < self._frontier[pid][mid[0]] or mid in self._seen[pid]:
             return
         self._note_seen(pid, message)
         self._deliver(pid, message["origin"], message["payload"])
@@ -139,11 +217,14 @@ class ReliableBroadcast(BroadcastService):
 
         A live ``helper`` (lowest live pid by default) re-sends the
         messages it has seen but ``target`` has not (the digest exchange
-        of a real anti-entropy session, read off ``_seen`` directly here)
-        over the network.  The ordering layers (FIFO sequence numbers,
-        causal vector clocks) buffer and deliver them in the right order,
-        so the recovered replica replays exactly the deliveries it
-        missed.  Returns the number of messages re-sent."""
+        of a real anti-entropy session, read off the seen frontiers
+        directly here) over the network.  The ordering layers (FIFO
+        sequence numbers, causal vector clocks) buffer and deliver them
+        in the right order, so the recovered replica replays exactly the
+        deliveries it missed.  Messages pruned by the stability GC never
+        need resending: they were seen by every replica — ``target``
+        included — before pruning.  Returns the number of messages
+        re-sent."""
         if helper is None:
             live = [
                 pid
@@ -156,7 +237,7 @@ class ReliableBroadcast(BroadcastService):
         missing = [
             message
             for message in self._log[helper]
-            if message["id"] not in self._seen[target]
+            if not self._is_seen(target, message["id"])
         ]
         for message in missing:
             self.network.send(helper, target, message)
@@ -186,9 +267,10 @@ class FifoBroadcast(ReliableBroadcast):
         self._fifo_accept(pid, message)
         self._relay(pid, message)
 
-    def _receive(self, pid: int, message: Any) -> None:
+    def _receive(self, pid: int, src: int, message: Any) -> None:
         mid = message["id"]
-        if mid in self._seen[pid]:
+        # inlined _is_seen (hot path) — keep in sync with that helper
+        if mid[1] < self._frontier[pid][mid[0]] or mid in self._seen[pid]:
             return
         self._note_seen(pid, message)
         if self.flood:
@@ -216,14 +298,34 @@ class CausalBroadcast(ReliableBroadcast):
     counting the message itself); a receiver delays it until it has
     delivered every causally preceding message.  Local delivery is
     immediate, matching the paper's primitive.
+
+    Delivery is *indexed*: a buffered message registers, per vector
+    component it still lacks, in a wait table keyed by ``(component,
+    threshold)`` with a deficit counter; advancing the receiver's clock
+    pops exactly the entries whose threshold was reached, so each message
+    is touched O(n) times total instead of being re-scanned on every
+    arrival (the quadratic reference drain below).  The cascade delivers
+    unblocked messages in *pass order* — ascending arrival index within a
+    pass, wrapped passes for entries whose index the cursor already
+    passed — which is exactly the order of the reference drain's repeated
+    in-order re-scans, so the two implementations are delivery-for-
+    delivery identical (property-tested in ``tests/test_runtime_perf.py``).
     """
 
     name = "causal"
 
     def __init__(self, network: Network, flood: bool = True) -> None:
         super().__init__(network, flood)
-        self._vc: List[VectorClock] = [VectorClock(self.n) for _ in range(self.n)]
-        self._buffer: List[List[Any]] = [[] for _ in range(self.n)]
+        n = self.n
+        self._vc: List[VectorClock] = [VectorClock(n) for _ in range(n)]
+        # indexed pending state, per receiver: arrival counter, wait
+        # table {(component, threshold): [entry]}, blocked count; an
+        # entry is [arrival_index, message, deficit]
+        self._arrivals: List[int] = [0] * n
+        self._wait: List[Dict[Tuple[int, int], List[List[Any]]]] = [
+            {} for _ in range(n)
+        ]
+        self._npending: List[int] = [0] * n
 
     def broadcast(self, pid: int, payload: Any) -> None:
         if self.network.is_crashed(pid):
@@ -240,15 +342,104 @@ class CausalBroadcast(ReliableBroadcast):
         }
         self._note_seen(pid, message)
         self._deliver(pid, pid, payload)
+        # no buffered message at pid can be waiting on pid's own
+        # component (pid's own-broadcast count is maximal at pid), so the
+        # local clock advance cannot unblock anything — no cascade here,
+        # matching the reference semantics
         self._relay(pid, message)
 
-    def _receive(self, pid: int, message: Any) -> None:
+    def _receive(self, pid: int, src: int, message: Any) -> None:
         mid = message["id"]
-        if mid in self._seen[pid]:
+        # inlined _is_seen (hot path) — keep in sync with that helper
+        if mid[1] < self._frontier[pid][mid[0]] or mid in self._seen[pid]:
             return
         self._note_seen(pid, message)
         if self.flood:
             self._relay(pid, message)
+        self._accept(pid, message)
+
+    # ------------------------------------------------------------------
+    def _accept(self, pid: int, message: Any) -> None:
+        """A first-seen message enters the delivery layer."""
+        idx = self._arrivals[pid]
+        self._arrivals[pid] = idx + 1
+        self._npending[pid] += 1
+        v = self._vc[pid].v
+        origin = message["origin"]
+        wait = self._wait[pid]
+        entry = None
+        deficit = 0
+        j = 0
+        for required in message["stamp"]:
+            if j == origin:
+                required -= 1  # the message itself was counted in the stamp
+            if v[j] < required:
+                if entry is None:
+                    entry = [idx, message, 0]
+                deficit += 1
+                key = (j, required)
+                bucket = wait.get(key)
+                if bucket is None:
+                    wait[key] = [entry]
+                else:
+                    bucket.append(entry)
+            j += 1
+        if entry is None:
+            self._cascade(pid, idx, message)
+        else:
+            entry[2] = deficit
+
+    def _cascade(self, pid: int, idx: int, message: Any) -> None:
+        """Deliver ``message`` and everything it transitively unblocks,
+        in reference pass order (see class docstring)."""
+        v = self._vc[pid].v
+        wait = self._wait[pid]
+        npending = self._npending
+        cur: List[Tuple[int, Any]] = [(idx, message)]
+        nxt: List[Tuple[int, Any]] = []
+        while cur:
+            idx, message = heappop(cur)
+            origin = message["origin"]
+            v[origin] += 1
+            npending[pid] -= 1
+            self._deliver(pid, origin, message["payload"])
+            unblocked = wait.pop((origin, v[origin]), None)
+            if unblocked:
+                for entry in unblocked:
+                    entry[2] -= 1
+                    if entry[2] == 0:
+                        if entry[0] > idx:
+                            heappush(cur, (entry[0], entry[1]))
+                        else:
+                            heappush(nxt, (entry[0], entry[1]))
+            if not cur and nxt:
+                cur = nxt
+                nxt = []
+
+    def pending_messages(self, pid: int) -> int:
+        """Messages buffered awaiting causal predecessors (observability)."""
+        return self._npending[pid]
+
+
+class ReferenceCausalBroadcast(CausalBroadcast):
+    """The pre-indexing causal delivery drain, kept as executable spec.
+
+    Delivery re-scans the whole pending buffer (in arrival order) after
+    every arrival until a full pass makes no progress — obviously
+    correct, quadratic in the buffer size.  The equivalence property
+    tests replay identical runs through this class and through
+    :class:`CausalBroadcast` and assert delivery-for-delivery identical
+    logs (the same pattern as the PR 1 ``_propagate`` reference
+    fixpoint).
+    """
+
+    name = "causal-reference"
+
+    def __init__(self, network: Network, flood: bool = True) -> None:
+        super().__init__(network, flood)
+        self._buffer: List[List[Any]] = [[] for _ in range(self.n)]
+
+    def _accept(self, pid: int, message: Any) -> None:
         self._buffer[pid].append(message)
         self._drain(pid)
 
@@ -265,7 +456,6 @@ class CausalBroadcast(ReliableBroadcast):
                     progress = True
 
     def pending_messages(self, pid: int) -> int:
-        """Messages buffered awaiting causal predecessors (observability)."""
         return len(self._buffer[pid])
 
 
@@ -292,16 +482,13 @@ class TotalOrderBroadcast(BroadcastService):
         self._pending: List[Dict[int, Any]] = [{} for _ in range(self.n)]
         self._next_local_id: List[int] = [0] * self.n
         for pid in range(self.n):
-            network.attach(pid, self._make_receiver(pid))
+            network.attach(pid, partial(self._receive, pid))
 
-    def _make_receiver(self, pid: int) -> Callable[[int, Any], None]:
-        def receive(src: int, message: Any) -> None:
-            if message["kind"] == "to-seq":
-                self._sequence(pid, message)
-            else:
-                self._accept(pid, message)
-
-        return receive
+    def _receive(self, pid: int, src: int, message: Any) -> None:
+        if message["kind"] == "to-seq":
+            self._sequence(pid, message)
+        else:
+            self._accept(pid, message)
 
     def broadcast(self, pid: int, payload: Any) -> None:
         if self.network.is_crashed(pid):

@@ -13,7 +13,8 @@ than deploy: a seeded pseudo-random delay preserves the relevant behaviour
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from heapq import heappush
 from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from .simulator import Simulator
@@ -24,6 +25,15 @@ class DelayModel:
 
     def sample(self, rng: random.Random, src: int, dst: int) -> float:
         raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget any per-run state (e.g. per-link base delays).
+
+        Called at the start of every :meth:`repro.scenarios.scenario.
+        Scenario.run`, so a model instance shared across runs or matrix
+        cells cannot leak state from one seed into the next.  Stateless
+        models need not override this.
+        """
 
     # Named constructors ------------------------------------------------
     @staticmethod
@@ -66,7 +76,9 @@ class _Uniform(DelayModel):
     high: float
 
     def sample(self, rng: random.Random, src: int, dst: int) -> float:
-        return rng.uniform(self.low, self.high)
+        # open-coded rng.uniform (same expression, so the same draw):
+        # this is the hottest rng call in the simulator
+        return self.low + (self.high - self.low) * rng.random()
 
     @property
     def mean(self) -> float:
@@ -99,6 +111,13 @@ class _PerLink(DelayModel):
             base = rng.uniform(self.low, self.high)
             self._base[(src, dst)] = base
         return base * (1.0 + rng.uniform(-self.jitter, self.jitter))
+
+    def reset(self) -> None:
+        # the link bases are a function of the *run* (they are drawn from
+        # the run's rng), not of the model: a reused instance must draw
+        # fresh bases per run or every run after the first would inherit
+        # the first seed's topology
+        self._base.clear()
 
     @property
     def mean(self) -> float:
@@ -134,6 +153,14 @@ class Network:
     :meth:`set_delay_scale` (delay spikes) may all be invoked from
     simulator callbacks, which is how
     :class:`repro.scenarios.faults.FaultSchedule` drives them.
+
+    The send path is built for throughput: delivery is scheduled as a
+    bound method plus arguments (no per-message closure), destination
+    fan-out uses precomputed peer lists (:meth:`multicast`), and the
+    common unpartitioned/lossless case takes a branch-light fast path.
+    Broadcast layers sit on top and call :meth:`send`/:meth:`multicast`
+    per relay hop, so every unicast still samples its own delay — the
+    asynchrony model is unchanged.
     """
 
     def __init__(
@@ -153,12 +180,21 @@ class Network:
         self.handlers: Dict[int, Callable[[int, Any], None]] = {}
         self.crashed: Set[int] = set()
         self.stats = NetworkStats()
+        #: all other processes, per source — the broadcast fan-out order
+        self._peers: List[Tuple[int, ...]] = [
+            tuple(d for d in range(n) if d != p) for p in range(n)
+        ]
         # partition support (the CAP motivation of Sec. 1): while two
         # processes are in different groups, messages between them are
         # *held*, not lost — the network stays reliable-eventual
         self._partition: Optional[List[Set[int]]] = None
         self._group_of: Optional[Dict[int, int]] = None
         self._held: List[tuple] = []
+        # per-source split of _peers under the current partition, rebuilt
+        # on partition()/heal(): multicast walks two precomputed lists
+        # instead of a group lookup per destination per message
+        self._reachable: Optional[List[Tuple[int, ...]]] = None
+        self._cross: Optional[List[Tuple[int, ...]]] = None
 
     def attach(self, pid: int, handler: Callable[[int, Any], None]) -> None:
         if not (0 <= pid < self.n):
@@ -214,12 +250,31 @@ class Network:
         self._group_of = {
             pid: i for i, group in enumerate(sets) for pid in group
         }
+        group_of = self._group_of
+        self._reachable = [
+            tuple(
+                dst
+                for dst in self._peers[src]
+                if group_of.get(dst, -1) == group_of.get(src, -1)
+            )
+            for src in range(self.n)
+        ]
+        self._cross = [
+            tuple(
+                dst
+                for dst in self._peers[src]
+                if group_of.get(dst, -1) != group_of.get(src, -1)
+            )
+            for src in range(self.n)
+        ]
         self._flush_held()
 
     def heal(self) -> None:
         """Remove the partition and release all held messages."""
         self._partition = None
         self._group_of = None
+        self._reachable = None
+        self._cross = None
         self._flush_held()
 
     def _flush_held(self) -> None:
@@ -243,30 +298,115 @@ class Network:
         """Asynchronously deliver ``payload`` from ``src`` to ``dst``."""
         if src in self.crashed:
             return
-        if self._separated(src, dst):
+        if self._group_of is not None and self._separated(src, dst):
             self.stats.held += 1
             self._held.append((src, dst, payload))
             return
         self._transmit(src, dst, payload, lossy=True)
 
+    def multicast(self, src: int, payload: Any) -> None:
+        """Send ``payload`` from ``src`` to every other process, in pid
+        order — one sampled delay per destination, exactly equivalent to
+        a loop of :meth:`send` but without the per-destination crash and
+        partition re-checks on the fast path."""
+        if src in self.crashed:
+            return
+        if self._group_of is None:
+            self._fan_out(src, self._peers[src], payload)
+            return
+        # within a single multicast, only in-group sends draw from the
+        # rng and only cross-group sends enter _held, so walking the two
+        # precomputed lists (each in pid order) reproduces the naive
+        # per-destination loop draw-for-draw and hold-for-hold
+        cross = self._cross[src]
+        if cross:
+            self.stats.held += len(cross)
+            held = self._held
+            for dst in cross:
+                held.append((src, dst, payload))
+        self._fan_out(src, self._reachable[src], payload)
+
+    def _fan_out(self, src: int, dsts: Tuple[int, ...], payload: Any) -> None:
+        """One sampled delay + scheduled delivery per destination, with
+        Simulator.schedule open-coded — the runtime's hottest loop."""
+        stats = self.stats
+        sim = self.sim
+        rng = sim.rng
+        model = self.delay
+        scale = self.delay_scale
+        loss_rate = self.loss_rate
+        deliver = self._deliver
+        stats.sent += len(dsts)
+        events = sim._events
+        heap = sim._heap
+        now = sim.now
+        seq = sim._next_seq
+        if (
+            type(model) is _Uniform
+            and scale == 1.0
+            and not loss_rate
+            and model.low >= 0.0
+            and model.high >= 0.0
+        ):
+            # the default configuration: draw rng.uniform inline (the
+            # expression below is _Uniform.sample verbatim, so the rng
+            # stream and every produced bit are unchanged); with both
+            # bounds non-negative the draw cannot be negative, so
+            # Simulator.schedule's past-guard is enforced by the branch
+            # condition instead of a per-message check
+            low = model.low
+            width = model.high - low
+            random = rng.random
+            for dst in dsts:
+                delay = low + width * random()
+                events[seq] = (deliver, (src, dst, payload, delay))
+                heappush(heap, (now + delay, seq))
+                seq += 1
+        else:
+            sample = model.sample
+            for dst in dsts:
+                if loss_rate and rng.random() < loss_rate:
+                    stats.lost += 1
+                    continue
+                delay = sample(rng, src, dst) * scale
+                if delay < 0:  # preserve Simulator.schedule's guard
+                    raise ValueError("cannot schedule in the past")
+                events[seq] = (deliver, (src, dst, payload, delay))
+                heappush(heap, (now + delay, seq))
+                seq += 1
+        sim._next_seq = seq
+
     def _transmit(self, src: int, dst: int, payload: Any, lossy: bool) -> None:
         self.stats.sent += 1
-        if lossy and self.loss_rate and self.sim.rng.random() < self.loss_rate:
+        sim = self.sim
+        rng = sim.rng
+        if lossy and self.loss_rate and rng.random() < self.loss_rate:
             # a lossy fair link: the message silently disappears (the
             # paper's reliable-channel assumption is the loss_rate=0 case;
             # gossip-style algorithms tolerate loss, op-based ones do not)
             self.stats.lost += 1
             return
-        delay = self.delay.sample(self.sim.rng, src, dst) * self.delay_scale
+        model = self.delay
+        if type(model) is _Uniform and self.delay_scale == 1.0:
+            # inline _Uniform.sample (verbatim expression, same draw)
+            delay = model.low + (model.high - model.low) * rng.random()
+        else:
+            delay = model.sample(rng, src, dst) * self.delay_scale
+        if delay < 0:  # preserve Simulator.schedule's guard
+            raise ValueError("cannot schedule in the past")
+        # open-coded Simulator.schedule: unicast sends and held-message
+        # flushes (thousands of messages at a heal) share this path
+        seq = sim._next_seq
+        sim._next_seq = seq + 1
+        sim._events[seq] = (self._deliver, (src, dst, payload, delay))
+        heappush(sim._heap, (sim.now + delay, seq))
 
-        def deliver() -> None:
-            if dst in self.crashed:
-                self.stats.dropped_to_crashed += 1
-                return
-            self.stats.delivered += 1
-            self.stats.total_delay += delay
-            handler = self.handlers.get(dst)
-            if handler is not None:
-                handler(src, payload)
-
-        self.sim.schedule(delay, deliver)
+    def _deliver(self, src: int, dst: int, payload: Any, delay: float) -> None:
+        if dst in self.crashed:
+            self.stats.dropped_to_crashed += 1
+            return
+        self.stats.delivered += 1
+        self.stats.total_delay += delay
+        handler = self.handlers.get(dst)
+        if handler is not None:
+            handler(src, payload)

@@ -14,13 +14,19 @@ from .matrix import (
     ALGORITHMS,
     AlgorithmEntry,
     MatrixCell,
+    MatrixPool,
     MatrixReport,
     algorithm_names,
     format_matrix_report,
     run_matrix,
     run_scenario_cell,
 )
-from .registry import SCENARIOS, get_scenario, scenario_names
+from .registry import (
+    SCALE_SCENARIOS,
+    SCENARIOS,
+    get_scenario,
+    scenario_names,
+)
 from .scenario import RunResult, Scenario
 from .spec import DelaySpec, FaultEvent, ScenarioSpec, WorkloadSpec
 from .workloads import PhaseClock, make_script
@@ -32,9 +38,11 @@ __all__ = [
     "FaultEvent",
     "FaultSchedule",
     "MatrixCell",
+    "MatrixPool",
     "MatrixReport",
     "PhaseClock",
     "RunResult",
+    "SCALE_SCENARIOS",
     "SCENARIOS",
     "Scenario",
     "ScenarioSpec",

@@ -78,6 +78,13 @@ ALGORITHMS: Dict[str, AlgorithmEntry] = {
 }
 
 
+#: algorithms whose explore verdict stays conclusive on the 10k-op
+#: scale-up scenarios: their CONV criterion is a live-state comparison,
+#: not an exact search over the recorded history (which is hopeless at
+#: that event count — CC/CCv cells would only come back inconclusive)
+SCALE_ALGORITHMS: Tuple[str, ...] = ("lww", "gossip")
+
+
 def algorithm_names() -> List[str]:
     return list(ALGORITHMS)
 
@@ -91,10 +98,17 @@ def _build_kwargs(entry: AlgorithmEntry, spec: ScenarioSpec) -> Dict[str, Any]:
 def build_post_setup(entry: AlgorithmEntry, spec: ScenarioSpec):
     """Post-construction hook for ``Scenario.run``: gossip algorithms
     need their periodic anti-entropy started, budgeted past the last
-    scheduled fault so post-heal exchanges still happen."""
+    scheduled fault so post-heal exchanges still happen.  Open-loop
+    workloads keep issuing for ``ops_per_process / rate`` time units
+    regardless of system speed, so the budget must also outlast the
+    arrival horizon — the 10k-op scale scenarios run for hundreds of
+    time units and would otherwise stop gossiping mid-traffic."""
     if not entry.gossip:
         return None
-    rounds = int(spec.fault_horizon) + 30
+    horizon = spec.fault_horizon
+    if spec.workload.kind == "open" and spec.workload.rate > 0:
+        horizon += spec.workload.ops_per_process / spec.workload.rate
+    rounds = int(horizon) + 30
 
     def post_setup(obj: Any) -> None:
         obj.start_gossip(rounds=rounds)
@@ -227,6 +241,53 @@ def _run_cell(job: Tuple[str, str, int, int]) -> MatrixCell:
 # ----------------------------------------------------------------------
 # The sweep
 # ----------------------------------------------------------------------
+class MatrixPool:
+    """A reusable worker pool for repeated :func:`run_matrix` calls.
+
+    Forking a pool per sweep is cheap once, but callers that explore many
+    sweeps (the runtime benchmark, the CLI with ``--scale``, parameter
+    scans) pay the fork + import tax per call; sharing one ``MatrixPool``
+    amortises it.  Usable as a context manager::
+
+        with MatrixPool(jobs=4) as pool:
+            a = run_matrix(scenarios=[...], pool=pool)
+            b = run_matrix(scenarios=[...], pool=pool)
+
+    ``jobs <= 1`` degrades to serial in-process execution (no fork), so
+    callers can thread a single code path through either mode.  Cell
+    *ordering* is identical either way: jobs are generated in a fixed
+    (scenario, algorithm, seed) nested-loop order and ``Pool.map``
+    preserves input order, so reports are deterministically ordered no
+    matter how many workers raced over them.
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        # None and 0 both mean host-sized (matching the CLI's --jobs 0)
+        self.jobs = jobs if jobs else (os.cpu_count() or 2)
+        self._pool = None
+        if self.jobs > 1:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            self._pool = ctx.Pool(processes=self.jobs)
+
+    def map(self, fn, jobs_in):
+        if self._pool is None:
+            return [fn(job) for job in jobs_in]
+        return self._pool.map(fn, jobs_in)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "MatrixPool":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
 @dataclass
 class MatrixReport:
     cells: List[MatrixCell] = field(default_factory=list)
@@ -266,11 +327,15 @@ def run_matrix(
     seeds: int = 2,
     jobs: Optional[int] = None,
     fast: bool = False,
+    pool: Optional[MatrixPool] = None,
 ) -> MatrixReport:
     """Run the scenario × algorithm × seed sweep, in parallel.
 
     ``jobs=None`` sizes the pool to the host; ``jobs=1`` runs serially in
-    this process (deterministic debugging, no fork)."""
+    this process (deterministic debugging, no fork).  Pass ``pool`` (see
+    :class:`MatrixPool`) to reuse one worker pool across several sweeps;
+    ``jobs`` is then ignored.  Cells come back in the fixed (scenario,
+    algorithm, seed) generation order in every mode."""
     scenario_keys = list(scenarios) if scenarios else scenario_names()
     algo_keys = list(algorithms) if algorithms else algorithm_names()
     for name in scenario_keys:
@@ -287,17 +352,14 @@ def run_matrix(
         for algo in algo_keys
         for seed in range(seeds)
     ]
-    if jobs is None:
-        jobs = min(len(cells_in), os.cpu_count() or 2)
-    if jobs <= 1 or len(cells_in) <= 1:
-        cells = [_run_cell(job) for job in cells_in]
+    if pool is not None:
+        cells = pool.map(_run_cell, cells_in)
     else:
-        methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context(
-            "fork" if "fork" in methods else None
-        )
-        with ctx.Pool(processes=jobs) as pool:
-            cells = pool.map(_run_cell, cells_in)
+        if jobs is None or jobs == 0:
+            jobs = os.cpu_count() or 2
+        # never fork more workers than there are cells
+        with MatrixPool(min(jobs, max(1, len(cells_in)))) as owned:
+            cells = owned.map(_run_cell, cells_in)
     return MatrixReport(cells=cells)
 
 

@@ -144,16 +144,69 @@ def _builtin() -> List[ScenarioSpec]:
     ]
 
 
+def _scale() -> List[ScenarioSpec]:
+    """The scale-up tier: ≥10k-op open-loop hot-key workloads at n=8 and
+    n=12.  These exist to exercise the runtime plane (indexed causal
+    delivery, tuple-heap scheduler, causal-stability GC) at a volume the
+    pre-PR 5 runtime could not finish in reasonable time; they are kept
+    out of the *default* sweep because exact history checkers (CC/CCv/SC)
+    are hopeless at 10k events — run them with the convergence-checkable
+    algorithms (``lww``, ``gossip``), whose CONV verdict is a state
+    comparison and stays conclusive at any scale (see
+    ``benchmarks/bench_runtime.py --scale``)."""
+    return [
+        ScenarioSpec(
+            name="scale-n8-hotkey",
+            description="10,400 Poisson ops over 8 replicas, 80% of the "
+            "writes piling onto stream 0 — the runtime-plane volume test",
+            n=8,
+            streams=4,
+            workload=WorkloadSpec(
+                kind="open", ops_per_process=1300, rate=4.0,
+                write_ratio=0.5, hot_key_weight=0.8,
+            ),
+        ),
+        ScenarioSpec(
+            name="scale-n12-hotkey",
+            description="10,800 Poisson ops over 12 replicas with a "
+            "mid-run two-by-two split that heals — held-flush and "
+            "causal buffering at volume",
+            n=12,
+            streams=4,
+            faults=(
+                F.partition(60.0, (0, 1, 2, 3, 4, 5), (6, 7, 8, 9, 10, 11)),
+                F.heal(160.0),
+            ),
+            workload=WorkloadSpec(
+                kind="open", ops_per_process=900, rate=4.0,
+                write_ratio=0.5, hot_key_weight=0.8,
+            ),
+        ),
+    ]
+
+
 SCENARIOS: Dict[str, ScenarioSpec] = {spec.name: spec for spec in _builtin()}
 
+#: scale-up tier, resolvable by name but excluded from the default sweep
+SCALE_SCENARIOS: Dict[str, ScenarioSpec] = {
+    spec.name: spec for spec in _scale()
+}
 
-def scenario_names() -> List[str]:
-    return list(SCENARIOS)
+
+def scenario_names(include_scale: bool = False) -> List[str]:
+    names = list(SCENARIOS)
+    if include_scale:
+        names.extend(SCALE_SCENARIOS)
+    return names
 
 
 def get_scenario(name: str) -> ScenarioSpec:
     try:
         return SCENARIOS[name]
     except KeyError:
-        known = ", ".join(scenario_names())
+        pass
+    try:
+        return SCALE_SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(scenario_names(include_scale=True))
         raise KeyError(f"unknown scenario {name!r}; known: {known}") from None

@@ -126,9 +126,13 @@ class Scenario:
                 f"{adt_kwarg.k}) contradict spec ({spec.streams}, {spec.k})"
             )
         sim = Simulator(seed=seed)
+        delay_model = delay or spec.delay.build()
+        # a caller-supplied model may be reused across runs/cells: drop
+        # any per-run state (e.g. per-link base delays) so this run is a
+        # pure function of (spec, algorithm, seed) again
+        delay_model.reset()
         network = Network(
-            sim, spec.n, delay=delay or spec.delay.build(),
-            loss_rate=spec.loss_rate,
+            sim, spec.n, delay=delay_model, loss_rate=spec.loss_rate,
         )
         recorder = HistoryRecorder(spec.n)
         algorithm = algorithm_cls(sim, network, recorder, **algorithm_kwargs)
