@@ -79,6 +79,10 @@ class ReplicatedObject(ABC):
         cannot rejoin (``supports_recovery = False``) leave this a no-op
         and simply resume with stale state."""
         service = getattr(self, "broadcast", None)
+        start = getattr(service, "start_resync", None)
+        if start is not None:
+            start(pid)
+            return
         resync = getattr(service, "resync", None)
         if resync is not None:
             resync(pid)

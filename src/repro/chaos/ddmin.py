@@ -1,0 +1,81 @@
+"""Delta debugging (ddmin) over fault-event schedules.
+
+Zeller's classic ddmin: given a failing input (a list of injected fault
+events) and a predicate ``fails(subset) -> bool``, find a *1-minimal*
+sublist — removing any single remaining event makes the failure
+disappear.  The chaos driver uses it to shrink a random schedule of a
+dozen-odd events down to the two or three that actually matter, which is
+what gets committed to the regression corpus.
+
+The implementation is index-based (subsets are tuples of positions into
+the original list, preserving order) and caches predicate results, since
+the predicate is a full simulation run and complements revisit subsets
+frequently.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def ddmin(
+    items: Sequence[T],
+    fails: Callable[[List[T]], bool],
+) -> List[T]:
+    """Shrink ``items`` to a 1-minimal failing sublist under ``fails``.
+
+    ``fails(list(items))`` must be true — the input must reproduce the
+    failure — otherwise there is nothing to minimise and a
+    :class:`ValueError` is raised.  Returns a (possibly empty-proper)
+    sublist in original order whose failure survives but which loses it
+    when any one element is removed."""
+    items = list(items)
+    cache: Dict[Tuple[int, ...], bool] = {}
+
+    def test(idx: Tuple[int, ...]) -> bool:
+        try:
+            return cache[idx]
+        except KeyError:
+            result = bool(fails([items[i] for i in idx]))
+            cache[idx] = result
+            return result
+
+    current: Tuple[int, ...] = tuple(range(len(items)))
+    if not test(current):
+        raise ValueError("ddmin: the initial input does not fail")
+
+    granularity = 2
+    while len(current) >= 2:
+        chunks = _chunks(current, granularity)
+        reduced = False
+        # try each chunk alone, then each complement
+        for candidate in chunks + [
+            tuple(i for i in current if i not in set(chunk))
+            for chunk in chunks
+        ]:
+            if candidate and len(candidate) < len(current) and test(candidate):
+                current = candidate
+                granularity = max(2, min(len(current), granularity - 1))
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(current):
+                break  # 1-minimal
+            granularity = min(len(current), granularity * 2)
+    return [items[i] for i in current]
+
+
+def _chunks(idx: Tuple[int, ...], k: int) -> List[Tuple[int, ...]]:
+    """Split ``idx`` into ``k`` near-equal contiguous chunks."""
+    n = len(idx)
+    size, extra = divmod(n, k)
+    out: List[Tuple[int, ...]] = []
+    start = 0
+    for i in range(k):
+        end = start + size + (1 if i < extra else 0)
+        if end > start:
+            out.append(idx[start:end])
+        start = end
+    return out

@@ -10,7 +10,10 @@ Commands regenerate the paper's artifacts from a terminal:
 - ``classify``   — classify a user-supplied history from a JSON file;
 - ``explore``    — the scenario × algorithm × seed matrix: run named
   fault/workload scenarios against every algorithm in parallel and check
-  each observed history against the algorithm's advertised criterion.
+  each observed history against the algorithm's advertised criterion;
+- ``chaos``      — seeded random fault schedules with runtime invariant
+  monitors; failing schedules are ddmin-minimised to replayable repro
+  JSON files (the chaos regression corpus).
 
 The JSON history format accepted by ``classify``::
 
@@ -221,7 +224,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
     from .scenarios.matrix import SCALE_ALGORITHMS
 
     if args.list:
-        for name in scenario_names(include_scale=True):
+        for name in scenario_names(include_scale=True, include_chaos=True):
             spec = get_scenario(name)
             print(f"{name:24s} {spec.description}")
         return 0
@@ -263,6 +266,55 @@ def cmd_explore(args: argparse.Namespace) -> int:
         with open(args.json, "w") as fh:
             json.dump(report.to_dict(), fh, indent=2)
         print(f"report written to {args.json}")
+    return 0 if report.ok else 1
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from .chaos import replay_file, run_chaos
+
+    if args.replay:
+        failed = 0
+        for path in args.replay:
+            outcome, doc = replay_file(path)
+            expect = bool(doc.get("expect_failure"))
+            recorded = set(doc.get("failure_kinds", ()))
+            if expect:
+                reproduced = bool(recorded.intersection(outcome.kinds))
+                status = "reproduced" if reproduced else "NOT reproduced"
+                if not reproduced:
+                    failed += 1
+            else:
+                status = "clean" if not outcome.failed else "FAILED"
+                if outcome.failed:
+                    failed += 1
+            print(f"{path}: {status} ({', '.join(outcome.kinds) or 'ok'})")
+        return 1 if failed else 0
+
+    report = run_chaos(
+        seed=args.seed,
+        trials=args.trials,
+        algorithms=tuple(args.algorithm) if args.algorithm else ("lww", "ccv-fig5"),
+        inject=args.inject,
+        n=args.n,
+        ops=args.ops,
+        save_dir=args.save_dir,
+        stop_on_failure=not args.keep_going,
+        check_criterion=not args.no_check,
+        log=print,
+    )
+    print(
+        f"chaos: seed={report.seed} inject={report.inject} "
+        f"runs={report.runs} failures={len(report.failures)}"
+    )
+    for failure in report.failures:
+        print(
+            f"  trial {failure.trial} [{failure.algorithm}]: "
+            f"{', '.join(failure.kinds)} — minimised "
+            f"{failure.original_events} -> {len(failure.minimized)} events"
+            + (f" ({failure.path})" if failure.path else "")
+        )
+    if args.expect_failure:
+        return 0 if report.failures else 1
     return 0 if report.ok else 1
 
 
@@ -381,6 +433,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list scenarios and exit"
     )
     p.set_defaults(fn=cmd_explore)
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded random fault schedules + invariant monitors + "
+        "failing-schedule minimisation",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--trials", type=int, default=25,
+        help="random schedules per algorithm (default 25)",
+    )
+    p.add_argument(
+        "--algorithm", action="append",
+        help="algorithm key (repeatable); default: lww, ccv-fig5",
+    )
+    p.add_argument(
+        "--inject", choices=("none", "gc-frontier", "oneshot-resync"),
+        default="none",
+        help="plant a sentinel bug to test the pipeline end to end",
+    )
+    p.add_argument("--n", type=int, default=4, help="processes per run")
+    p.add_argument(
+        "--ops", type=int, default=6, help="operations per process"
+    )
+    p.add_argument(
+        "--save-dir", default=None,
+        help="write minimised repros as replayable JSON into this dir",
+    )
+    p.add_argument(
+        "--keep-going", action="store_true",
+        help="continue hunting after the first failure",
+    )
+    p.add_argument(
+        "--no-check", action="store_true",
+        help="skip the consistency-criterion check (monitors + "
+        "convergence only; much faster)",
+    )
+    p.add_argument(
+        "--expect-failure", action="store_true",
+        help="exit 0 iff at least one failure was found (for testing "
+        "the pipeline against an --inject sentinel)",
+    )
+    p.add_argument(
+        "--replay", nargs="+", metavar="FILE",
+        help="replay saved repro JSON files instead of hunting",
+    )
+    p.set_defaults(fn=cmd_chaos)
 
     return parser
 

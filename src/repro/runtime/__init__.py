@@ -9,6 +9,7 @@ from .broadcast import (
     TotalOrderBroadcast,
 )
 from .clocks import LamportClock, VectorClock
+from .monitors import RuntimeMonitor, Violation
 from .network import DelayModel, Network, NetworkStats
 from .recorder import HistoryRecorder, OpRecord
 from .simulator import Simulator
@@ -23,6 +24,8 @@ __all__ = [
     "TotalOrderBroadcast",
     "LamportClock",
     "VectorClock",
+    "RuntimeMonitor",
+    "Violation",
     "DelayModel",
     "Network",
     "NetworkStats",

@@ -73,6 +73,11 @@ class BroadcastService:
         self.n = network.n
         self.delivery_handlers: Dict[int, Handler] = {}
         self.delivered_count = 0
+        #: optional :class:`repro.runtime.monitors.RuntimeMonitor`;
+        #: delivery paths call its hooks when set.  Monitors are
+        #: read-only observers (no rng draws, no scheduling), so runs
+        #: are bit-identical with and without one attached.
+        self.monitor: Optional[Any] = None
 
     def endpoint(self, pid: int, handler: Handler) -> _Endpoint:
         """Register ``handler`` as process ``pid``'s deliver callback."""
@@ -114,10 +119,32 @@ class ReliableBroadcast(BroadcastService):
     #: first-seen notes between causal-stability GC sweeps
     GC_INTERVAL = 1024
 
+    #: supervised-resync parameters: first verification check after
+    #: RESYNC_TIMEOUT, backing off geometrically, giving up after
+    #: RESYNC_MAX_ATTEMPTS catch-up attempts
+    RESYNC_TIMEOUT = 6.0
+    RESYNC_BACKOFF = 1.6
+    RESYNC_MAX_ATTEMPTS = 8
+
+    #: chaos sentinel switch: ``False`` degrades :meth:`start_resync` to
+    #: the pre-supervision one-shot catch-up (``--inject oneshot-resync``)
+    supervised_resync = True
+    #: chaos sentinel bug: mis-handle crashed replicas' frozen frontiers
+    #: in :meth:`_gc` (``--inject gc-frontier``); the invariant monitors
+    #: must catch the resulting premature prune
+    gc_frontier_bug = False
+
     def __init__(self, network: Network, flood: bool = True) -> None:
         super().__init__(network)
         self.flood = flood
         n = self.n
+        # supervised-resync bookkeeping: epoch per target (a re-crash +
+        # re-recover orphans the old supervision chain) and stats
+        self._resync_epoch: Dict[int, int] = {}
+        self.resync_attempts = 0
+        self.resync_retries = 0
+        self.resync_converged = 0
+        self.resync_gave_up = 0
         # dedup state: contiguous per-origin frontier + out-of-order spill
         self._frontier: List[List[int]] = [[0] * n for _ in range(n)]
         self._seen: List[Set[Tuple[int, int]]] = [set() for _ in range(n)]
@@ -171,8 +198,24 @@ class ReliableBroadcast(BroadcastService):
             min(frontiers[pid][origin] for pid in range(n))
             for origin in range(n)
         ]
+        if self.gc_frontier_bug and self.network.crashed:
+            # chaos sentinel (--inject gc-frontier): pretend every
+            # crashed replica has seen one message more per origin than
+            # its frozen frontier records — an off-by-one that can prune
+            # a message a downed replica still needs
+            crashed = self.network.crashed
+            stable = [
+                min(
+                    frontiers[pid][origin] + (1 if pid in crashed else 0)
+                    for pid in range(n)
+                )
+                for origin in range(n)
+            ]
         if stable == self._stable:
             return
+        monitor = self.monitor
+        if monitor is not None:
+            monitor.on_gc(stable, frontiers, self.network.crashed)
         self._stable = stable
         for pid in range(n):
             log = self._log[pid]
@@ -195,6 +238,9 @@ class ReliableBroadcast(BroadcastService):
         message = {"id": mid, "origin": pid, "payload": payload}
         # immediate local delivery (Sec. 6.1, third bullet)
         self._note_seen(pid, message)
+        monitor = self.monitor
+        if monitor is not None:
+            monitor.on_deliver(pid, mid)
         self._deliver(pid, pid, payload)
         self._relay(pid, message)
 
@@ -207,6 +253,9 @@ class ReliableBroadcast(BroadcastService):
         if mid[1] < self._frontier[pid][mid[0]] or mid in self._seen[pid]:
             return
         self._note_seen(pid, message)
+        monitor = self.monitor
+        if monitor is not None:
+            monitor.on_deliver(pid, mid)
         self._deliver(pid, message["origin"], message["payload"])
         if self.flood:
             self._relay(pid, message)
@@ -242,6 +291,130 @@ class ReliableBroadcast(BroadcastService):
         for message in missing:
             self.network.send(helper, target, message)
         return len(missing)
+
+    # ------------------------------------------------------------------
+    # Supervised resync: timeout + exponential backoff + helper failover
+    # ------------------------------------------------------------------
+    def start_resync(self, target: int) -> None:
+        """Supervised anti-entropy catch-up for a recovered process.
+
+        The one-shot :meth:`resync` silently strands ``target`` when its
+        helper crashes mid-catch-up, the catch-up messages are lost, or
+        the helper is on the wrong side of a partition.  This wrapper
+        supervises it: the first attempt is byte-identical to the
+        one-shot (lowest live helper), then a verification check fires
+        ``RESYNC_TIMEOUT`` later — if any live peer still holds a
+        message ``target`` has not seen (restricted to messages that
+        existed when the attempt started, so fresh traffic never fakes a
+        gap), the catch-up is retried against the next reachable helper
+        with geometric backoff, up to ``RESYNC_MAX_ATTEMPTS``.
+
+        A re-crash orphans the supervision chain (epoch bump on the next
+        recovery); the chain draws nothing from the rng unless an actual
+        retry re-sends messages, so runs whose first attempt succeeds
+        deliver the identical values in the identical order as the
+        pre-supervision one-shot (the pending verification check does
+        extend simulated quiescence by the timeout tail)."""
+        if not self.supervised_resync:
+            self.resync(target)
+            return
+        epoch = self._resync_epoch.get(target, 0) + 1
+        self._resync_epoch[target] = epoch
+        self._resync_attempt(target, epoch, 0, self.RESYNC_TIMEOUT)
+
+    def _resync_helper(self, target: int, attempt: int) -> Optional[int]:
+        network = self.network
+        live = [
+            pid
+            for pid in range(self.n)
+            if pid != target and not network.is_crashed(pid)
+        ]
+        if not live:
+            return None
+        if attempt == 0:
+            # the pre-supervision one-shot choice, preserved exactly so
+            # recorded-history fingerprints only move when a retry fires
+            return live[0]
+        reachable = [
+            pid for pid in live if not network._separated(pid, target)
+        ]
+        pool = reachable or live
+        return pool[attempt % len(pool)]
+
+    def _resync_attempt(
+        self, target: int, epoch: int, attempt: int, timeout: float
+    ) -> None:
+        if self._resync_epoch.get(target) != epoch:
+            return  # orphaned: target re-crashed and re-recovered
+        network = self.network
+        if network.is_crashed(target):
+            return  # re-crashed: the next recover starts a fresh epoch
+        helper = self._resync_helper(target, attempt)
+        if helper is not None:
+            self.resync_attempts += 1
+            if attempt:
+                self.resync_retries += 1
+            self.resync(target, helper=helper)
+        # verification cutoff: only messages that already exist count as
+        # missing at the check, so traffic broadcast after this attempt
+        # can never turn a complete catch-up into a spurious retry
+        cutoff = tuple(self._next_id)
+        network.sim.schedule(
+            timeout, self._resync_check, target, epoch, attempt, timeout, cutoff
+        )
+
+    def _resync_check(
+        self,
+        target: int,
+        epoch: int,
+        attempt: int,
+        timeout: float,
+        cutoff: Tuple[int, ...],
+    ) -> None:
+        if self._resync_epoch.get(target) != epoch:
+            return
+        if self.network.is_crashed(target):
+            return
+        if not self._catchup_missing(target, cutoff):
+            self.resync_converged += 1
+            return
+        if attempt + 1 >= self.RESYNC_MAX_ATTEMPTS:
+            self.resync_gave_up += 1
+            monitor = self.monitor
+            if monitor is not None:
+                monitor.on_resync_stranded(target, attempt + 1)
+            return
+        self._resync_attempt(
+            target, epoch, attempt + 1, timeout * self.RESYNC_BACKOFF
+        )
+
+    def _catchup_missing(self, target: int, cutoff: Tuple[int, ...]) -> bool:
+        """Does any live peer's log hold a message (below ``cutoff``)
+        that ``target`` has not seen?  Also monitors stability-frontier
+        soundness: a gap *below* the stability frontier is unrepairable
+        (the message is pruned from every log), which a sound GC makes
+        impossible — flagged as ``pruned-gap`` when it happens."""
+        monitor = self.monitor
+        if monitor is not None:
+            frontier = self._frontier[target]
+            spill = self._seen[target]
+            for origin in range(self.n):
+                limit = min(self._stable[origin], cutoff[origin])
+                seq = frontier[origin]
+                while seq < limit:
+                    if (origin, seq) not in spill:
+                        monitor.on_pruned_gap(target, origin, seq)
+                        break
+                    seq += 1
+        network = self.network
+        for helper in range(self.n):
+            if helper == target or network.is_crashed(helper):
+                continue
+            for message in self._log[helper]:
+                mid = message["id"]
+                if mid[1] < cutoff[mid[0]] and not self._is_seen(target, mid):
+                    return True
+        return False
 
 
 class FifoBroadcast(ReliableBroadcast):
@@ -281,6 +454,7 @@ class FifoBroadcast(ReliableBroadcast):
         origin, seq = message["id"]
         self._pending[pid][(origin, seq)] = message
         # deliver as many in-order messages as possible
+        monitor = self.monitor
         while True:
             nxt = self._expected[pid][origin]
             key = (origin, nxt)
@@ -288,6 +462,8 @@ class FifoBroadcast(ReliableBroadcast):
                 break
             queued = self._pending[pid].pop(key)
             self._expected[pid][origin] += 1
+            if monitor is not None:
+                monitor.on_fifo_deliver(pid, origin, nxt)
             self._deliver(pid, origin, queued["payload"])
 
 
@@ -341,6 +517,9 @@ class CausalBroadcast(ReliableBroadcast):
             "stamp": vc.snapshot(),
         }
         self._note_seen(pid, message)
+        monitor = self.monitor
+        if monitor is not None:
+            monitor.on_causal_deliver(pid, mid, pid, message["stamp"])
         self._deliver(pid, pid, payload)
         # no buffered message at pid can be waiting on pid's own
         # component (pid's own-broadcast count is maximal at pid), so the
@@ -395,11 +574,16 @@ class CausalBroadcast(ReliableBroadcast):
         v = self._vc[pid].v
         wait = self._wait[pid]
         npending = self._npending
+        monitor = self.monitor
         cur: List[Tuple[int, Any]] = [(idx, message)]
         nxt: List[Tuple[int, Any]] = []
         while cur:
             idx, message = heappop(cur)
             origin = message["origin"]
+            if monitor is not None:
+                monitor.on_causal_deliver(
+                    pid, message["id"], origin, message["stamp"]
+                )
             v[origin] += 1
             npending[pid] -= 1
             self._deliver(pid, origin, message["payload"])
@@ -445,6 +629,7 @@ class ReferenceCausalBroadcast(CausalBroadcast):
 
     def _drain(self, pid: int) -> None:
         vc = self._vc[pid]
+        monitor = self.monitor
         progress = True
         while progress:
             progress = False
@@ -452,6 +637,13 @@ class ReferenceCausalBroadcast(CausalBroadcast):
                 if vc.can_deliver(message["origin"], message["stamp"]):
                     self._buffer[pid].remove(message)
                     vc.deliver(message["origin"])
+                    if monitor is not None:
+                        monitor.on_causal_deliver(
+                            pid,
+                            message["id"],
+                            message["origin"],
+                            message["stamp"],
+                        )
                     self._deliver(pid, message["origin"], message["payload"])
                     progress = True
 
@@ -481,6 +673,10 @@ class TotalOrderBroadcast(BroadcastService):
         self._expected: List[int] = [0] * self.n
         self._pending: List[Dict[int, Any]] = [{} for _ in range(self.n)]
         self._next_local_id: List[int] = [0] * self.n
+        # duplicate tolerance: a retransmitted to-seq request must not be
+        # sequenced twice, and a stale sequenced copy must not re-enter
+        # the pending window after delivery
+        self._sequenced: Set[Tuple[int, int]] = set()
         for pid in range(self.n):
             network.attach(pid, partial(self._receive, pid))
 
@@ -508,6 +704,10 @@ class TotalOrderBroadcast(BroadcastService):
     def _sequence(self, pid: int, message: Any) -> None:
         if pid != self.sequencer or self.network.is_crashed(pid):
             return
+        key = (message["origin"], message["local_id"])
+        if key in self._sequenced:
+            return
+        self._sequenced.add(key)
         sequenced = {
             "kind": "sequenced",
             "seq": self._next_seq,
@@ -522,8 +722,13 @@ class TotalOrderBroadcast(BroadcastService):
                 self.network.send(pid, dst, sequenced)
 
     def _accept(self, pid: int, message: Any) -> None:
+        if message["seq"] < self._expected[pid]:
+            return  # duplicate of an already-delivered sequence number
         self._pending[pid][message["seq"]] = message
+        monitor = self.monitor
         while self._expected[pid] in self._pending[pid]:
             queued = self._pending[pid].pop(self._expected[pid])
             self._expected[pid] += 1
+            if monitor is not None:
+                monitor.on_deliver(pid, (queued["origin"], queued["local_id"]))
             self._deliver(pid, queued["origin"], queued)

@@ -131,6 +131,8 @@ class NetworkStats:
     dropped_to_crashed: int = 0
     lost: int = 0
     held: int = 0
+    duplicated: int = 0
+    reordered: int = 0
     total_delay: float = 0.0
 
     @property
@@ -149,10 +151,23 @@ class Network:
     :meth:`repro.algorithms.base.ReplicatedObject.on_recover`).
 
     The fault surface is event-driven: :meth:`partition`/:meth:`heal`,
-    :meth:`crash`/:meth:`recover`, :meth:`set_loss_rate` (loss bursts) and
-    :meth:`set_delay_scale` (delay spikes) may all be invoked from
+    :meth:`crash`/:meth:`recover`, :meth:`set_loss_rate` (loss bursts),
+    :meth:`set_delay_scale` (delay spikes), :meth:`set_duplicate_rate`
+    (retransmission storms), :meth:`block_links`/:meth:`unblock_links`
+    (asymmetric partitions and link flapping) and :meth:`start_reorder`
+    (per-link delivery-order inversion bursts) may all be invoked from
     simulator callbacks, which is how
     :class:`repro.scenarios.faults.FaultSchedule` drives them.
+
+    Chaos-fault semantics: a *blocked* directed link holds its messages
+    exactly like a partition (delay, never lose; :meth:`heal` clears
+    blocks too); during a *reorder burst* each link's sends are captured
+    and released in reverse send order when the burst ends (held-message
+    flushes bypass the capture, preserving the pinned heal semantics);
+    *duplication* delivers an independently delayed second copy of a
+    message with probability ``duplicate_rate``.  All three features draw
+    nothing from the rng while inactive, so runs without chaos faults are
+    bit-identical to pre-chaos runs.
 
     The send path is built for throughput: delivery is scheduled as a
     bound method plus arguments (no per-message closure), destination
@@ -195,6 +210,16 @@ class Network:
         # instead of a group lookup per destination per message
         self._reachable: Optional[List[Tuple[int, ...]]] = None
         self._cross: Optional[List[Tuple[int, ...]]] = None
+        # chaos fault state: directed blocked links (asymmetric
+        # partitions, flapping), message duplication, reorder bursts
+        self.duplicate_rate = 0.0
+        self._blocked: Set[Tuple[int, int]] = set()
+        self._reorder_until: Optional[float] = None
+        self._reorder_buf: Dict[Tuple[int, int], List[Any]] = {}
+
+    #: delivery spacing of a reorder-burst flush: each captured link
+    #: releases its messages back-to-front at these deterministic gaps
+    REORDER_SPACING = 0.05
 
     def attach(self, pid: int, handler: Callable[[int, Any], None]) -> None:
         if not (0 <= pid < self.n):
@@ -229,6 +254,71 @@ class Network:
         if factor <= 0:
             raise ValueError("delay scale must be positive")
         self.delay_scale = factor
+
+    def set_duplicate_rate(self, rate: float) -> None:
+        """Deliver a second, independently delayed copy of each message
+        with probability ``rate`` (a retransmission storm).  Duplication
+        is a *delivery* fault: the extra copy goes through the normal
+        delivery path, so dedup layers above must absorb it."""
+        if not (0.0 <= rate < 1.0):
+            raise ValueError("duplicate rate must be in [0, 1)")
+        self.duplicate_rate = rate
+
+    # ------------------------------------------------------------------
+    # Directed link blocking (asymmetric partitions, flapping)
+    # ------------------------------------------------------------------
+    def block_links(self, pairs: Iterable[Tuple[int, int]]) -> None:
+        """Block the directed links ``(src, dst)``: their messages are
+        held (like a partition's) until :meth:`unblock_links` or
+        :meth:`heal`.  Blocking only one direction of a link is an
+        asymmetric partition; alternately blocking and unblocking both
+        directions is link flapping."""
+        self._blocked.update(pairs)
+
+    def unblock_links(self, pairs: Iterable[Tuple[int, int]]) -> None:
+        """Undo :meth:`block_links` for ``pairs`` and flush any held
+        messages whose endpoints became reconnected, in send order."""
+        self._blocked.difference_update(pairs)
+        self._flush_held()
+
+    def start_reorder(self, duration: float) -> None:
+        """Begin a reorder burst: until ``duration`` time units from now,
+        every unicast send is captured instead of transmitted; when the
+        burst ends, each directed link releases its captured messages in
+        *reverse* send order (per-link delivery inversion) at small
+        deterministic spacings — no rng draws, no loss.  Overlapping
+        bursts merge into one ending at the latest end time."""
+        if duration <= 0:
+            raise ValueError("reorder burst duration must be positive")
+        end = self.sim.now + duration
+        if self._reorder_until is not None and end <= self._reorder_until:
+            return  # already covered by a burst that ends later
+        self._reorder_until = end
+        self.sim.schedule(duration, self._end_reorder, end)
+
+    def _end_reorder(self, end: float) -> None:
+        if self._reorder_until != end:
+            return  # superseded by a burst that extended the window
+        self._reorder_until = None
+        buf, self._reorder_buf = self._reorder_buf, {}
+        sim = self.sim
+        spacing = self.REORDER_SPACING
+        for (src, dst), payloads in buf.items():
+            if self._separated(src, dst):
+                # the link got partitioned/blocked mid-burst: hold the
+                # whole capture (in its inverted order) for the heal
+                self.stats.held += len(payloads)
+                self._held.extend(
+                    (src, dst, payload) for payload in reversed(payloads)
+                )
+                continue
+            for k, payload in enumerate(reversed(payloads)):
+                delay = spacing * (k + 1)
+                self.stats.sent += 1
+                seq = sim._next_seq
+                sim._next_seq = seq + 1
+                sim._events[seq] = (self._deliver, (src, dst, payload, delay))
+                heappush(sim._heap, (sim.now + delay, seq))
 
     # ------------------------------------------------------------------
     # Partitions
@@ -270,11 +360,13 @@ class Network:
         self._flush_held()
 
     def heal(self) -> None:
-        """Remove the partition and release all held messages."""
+        """Remove the partition (and any directed link blocks) and
+        release all held messages."""
         self._partition = None
         self._group_of = None
         self._reachable = None
         self._cross = None
+        self._blocked.clear()
         self._flush_held()
 
     def _flush_held(self) -> None:
@@ -289,6 +381,8 @@ class Network:
                 self._transmit(src, dst, payload, lossy=False)
 
     def _separated(self, src: int, dst: int) -> bool:
+        if self._blocked and (src, dst) in self._blocked:
+            return True
         if self._group_of is None:
             return False
         return self._group_of.get(src, -1) != self._group_of.get(dst, -1)
@@ -298,9 +392,15 @@ class Network:
         """Asynchronously deliver ``payload`` from ``src`` to ``dst``."""
         if src in self.crashed:
             return
-        if self._group_of is not None and self._separated(src, dst):
+        if (self._group_of is not None or self._blocked) and self._separated(
+            src, dst
+        ):
             self.stats.held += 1
             self._held.append((src, dst, payload))
+            return
+        if self._reorder_until is not None:
+            self.stats.reordered += 1
+            self._reorder_buf.setdefault((src, dst), []).append(payload)
             return
         self._transmit(src, dst, payload, lossy=True)
 
@@ -310,6 +410,16 @@ class Network:
         a loop of :meth:`send` but without the per-destination crash and
         partition re-checks on the fast path."""
         if src in self.crashed:
+            return
+        if (
+            self._blocked
+            or self._reorder_until is not None
+            or self.duplicate_rate
+        ):
+            # a chaos fault is active: take the per-destination slow path
+            # so blocked links, reorder capture and duplication all apply
+            for dst in self._peers[src]:
+                self.send(src, dst, payload)
             return
         if self._group_of is None:
             self._fan_out(src, self._peers[src], payload)
@@ -400,6 +510,20 @@ class Network:
         sim._next_seq = seq + 1
         sim._events[seq] = (self._deliver, (src, dst, payload, delay))
         heappush(sim._heap, (sim.now + delay, seq))
+        if self.duplicate_rate and rng.random() < self.duplicate_rate:
+            # duplication fault: a second, independently delayed copy of
+            # the same payload (no rng draw when the dial is at zero)
+            self.stats.duplicated += 1
+            if type(model) is _Uniform and self.delay_scale == 1.0:
+                dup = model.low + (model.high - model.low) * rng.random()
+            else:
+                dup = model.sample(rng, src, dst) * self.delay_scale
+            if dup < 0:
+                raise ValueError("cannot schedule in the past")
+            seq = sim._next_seq
+            sim._next_seq = seq + 1
+            sim._events[seq] = (self._deliver, (src, dst, payload, dup))
+            heappush(sim._heap, (sim.now + dup, seq))
 
     def _deliver(self, src: int, dst: int, payload: Any, delay: float) -> None:
         if dst in self.crashed:

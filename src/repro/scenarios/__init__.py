@@ -22,6 +22,7 @@ from .matrix import (
     run_scenario_cell,
 )
 from .registry import (
+    CHAOS_SCENARIOS,
     SCALE_SCENARIOS,
     SCENARIOS,
     get_scenario,
@@ -34,6 +35,7 @@ from .workloads import PhaseClock, make_script
 __all__ = [
     "ALGORITHMS",
     "AlgorithmEntry",
+    "CHAOS_SCENARIOS",
     "DelaySpec",
     "FaultEvent",
     "FaultSchedule",

@@ -155,6 +155,7 @@ class MatrixCell:
     messages_per_op: float
     wall_seconds: float
     note: str = ""
+    monitor_violations: int = 0
 
     @property
     def failure(self) -> bool:
@@ -206,7 +207,18 @@ def _run_cell(job: Tuple[str, str, int, int]) -> MatrixCell:
             ok = None
             note = "search budget exceeded"
 
-    has_recovery = any(e.action == "recover" for e in spec.faults)
+    # runtime invariant monitors (PR 6): a violation is a correctness
+    # failure regardless of what the history checker concluded
+    monitor_violations = 0
+    if result.monitor is not None and not result.monitor.ok:
+        monitor_violations = len(result.monitor.violations)
+        ok = False
+        note = (note + "; " if note else "") + result.monitor.summary()
+
+    # crash-storm embeds its own recovery (every stormed process rejoins)
+    has_recovery = any(
+        e.action in ("recover", "crash-storm") for e in spec.faults
+    )
     has_loss = spec.loss_rate > 0 or any(
         e.action == "loss" and e.rate > 0 for e in spec.faults
     )
@@ -235,6 +247,7 @@ def _run_cell(job: Tuple[str, str, int, int]) -> MatrixCell:
         messages_per_op=result.messages_per_op,
         wall_seconds=time.perf_counter() - t0,
         note=note,
+        monitor_violations=monitor_violations,
     )
 
 

@@ -185,6 +185,44 @@ def _scale() -> List[ScenarioSpec]:
     ]
 
 
+def _chaos() -> List[ScenarioSpec]:
+    """The chaos tier: hand-picked demonstrations of the extended fault
+    vocabulary (PR 6) — asymmetric partitions, flapping links, duplicate
+    storms, reorder bursts and correlated crash storms.  Kept out of the
+    *default* sweep so its verdict baselines stay comparable across
+    versions; the chaos driver (``python -m repro chaos``) explores the
+    same vocabulary randomly."""
+    return [
+        ScenarioSpec(
+            name="asymmetric-oneway",
+            description="one-way partition: (0,1) can hear (2,3) but not "
+            "the reverse — acks flow, updates do not, until the heal",
+            n=4,
+            faults=(
+                F.partition_oneway(1.5, (0, 1), (2, 3)),
+                F.heal(7.0),
+            ),
+            workload=WorkloadSpec(ops_per_process=5, write_ratio=0.6),
+        ),
+        ScenarioSpec(
+            name="dup-storm-flap",
+            description="a retransmission storm (30% duplicates) over a "
+            "flapping link, then a two-replica crash storm and a reorder "
+            "burst — the full chaos vocabulary in one run",
+            n=4,
+            faults=(
+                F.duplicate(0.5, 0.3),
+                F.flap(2.0, 0, 3, cycles=2, period=1.0),
+                F.crash_storm(5.0, (1, 2), downtime=2.5),
+                F.reorder(9.0, 1.5),
+                F.duplicate(12.0, 0.0),
+                F.heal(12.5),
+            ),
+            workload=WorkloadSpec(ops_per_process=6, write_ratio=0.6),
+        ),
+    ]
+
+
 SCENARIOS: Dict[str, ScenarioSpec] = {spec.name: spec for spec in _builtin()}
 
 #: scale-up tier, resolvable by name but excluded from the default sweep
@@ -192,21 +230,28 @@ SCALE_SCENARIOS: Dict[str, ScenarioSpec] = {
     spec.name: spec for spec in _scale()
 }
 
+#: chaos tier, resolvable by name but excluded from the default sweep
+CHAOS_SCENARIOS: Dict[str, ScenarioSpec] = {
+    spec.name: spec for spec in _chaos()
+}
 
-def scenario_names(include_scale: bool = False) -> List[str]:
+
+def scenario_names(
+    include_scale: bool = False, include_chaos: bool = False
+) -> List[str]:
     names = list(SCENARIOS)
     if include_scale:
         names.extend(SCALE_SCENARIOS)
+    if include_chaos:
+        names.extend(CHAOS_SCENARIOS)
     return names
 
 
 def get_scenario(name: str) -> ScenarioSpec:
-    try:
-        return SCENARIOS[name]
-    except KeyError:
-        pass
-    try:
-        return SCALE_SCENARIOS[name]
-    except KeyError:
-        known = ", ".join(scenario_names(include_scale=True))
-        raise KeyError(f"unknown scenario {name!r}; known: {known}") from None
+    for tier in (SCENARIOS, SCALE_SCENARIOS, CHAOS_SCENARIOS):
+        try:
+            return tier[name]
+        except KeyError:
+            continue
+    known = ", ".join(scenario_names(include_scale=True, include_chaos=True))
+    raise KeyError(f"unknown scenario {name!r}; known: {known}")

@@ -20,6 +20,7 @@ from typing import Any, Callable, List, Optional, Sequence, Set, Type
 from ..adts.window_stream import WindowStreamArray
 from ..core.history import History
 from ..core.operations import Invocation
+from ..runtime.monitors import RuntimeMonitor
 from ..runtime.network import DelayModel, Network, NetworkStats
 from ..runtime.recorder import HistoryRecorder
 from ..runtime.simulator import Simulator
@@ -47,6 +48,7 @@ class RunResult:
     issued: int = 0
     completed: int = 0
     spec: Optional[ScenarioSpec] = None
+    monitor: Optional[RuntimeMonitor] = None
 
     @property
     def mean_latency(self) -> float:
@@ -98,6 +100,7 @@ class Scenario:
         quiescence_reads: Optional[Sequence[Invocation]] = None,
         post_setup: Optional[Callable[[Any], None]] = None,
         max_events: int = 5_000_000,
+        monitors: bool = True,
         **algorithm_kwargs: Any,
     ) -> RunResult:
         """Execute the scenario and return the observed history + stats.
@@ -105,6 +108,12 @@ class Scenario:
         ``scripts``/``think``/``delay``/``quiescence_reads`` override the
         spec-derived defaults (the compatibility shim uses them); they are
         runtime objects and not part of the serialisable spec.
+
+        ``monitors`` (default on) attaches a :class:`RuntimeMonitor` to
+        the algorithm's broadcast layer when it has one; the monitor is
+        a pure observer, so the recorded history is bit-identical either
+        way and the result's :attr:`RunResult.monitor` carries any
+        invariant violations it caught.
         """
         spec = self.spec
         # the spec owns the object dimensions: explicitly passed window
@@ -138,6 +147,12 @@ class Scenario:
         algorithm = algorithm_cls(sim, network, recorder, **algorithm_kwargs)
         if post_setup is not None:
             post_setup(algorithm)
+        monitor: Optional[RuntimeMonitor] = None
+        if monitors:
+            service = getattr(algorithm, "broadcast", None)
+            if service is not None and hasattr(service, "monitor"):
+                monitor = RuntimeMonitor(spec.n, sim=sim)
+                service.monitor = monitor
 
         if scripts is None:
             scripts = self.scripts(seed)
@@ -195,4 +210,5 @@ class Scenario:
             issued=sum(c.issued for c in clients),
             completed=sum(c.completed for c in clients),
             spec=spec,
+            monitor=monitor,
         )

@@ -21,6 +21,7 @@ shipped to a worker process, serialised into a report, or shrunk with
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
 
@@ -61,16 +62,49 @@ class DelaySpec:
 # ----------------------------------------------------------------------
 # Fault schedule events
 # ----------------------------------------------------------------------
+
+#: every fault action the schedule understands (validated at spec parse)
+FAULT_ACTIONS = (
+    "partition",
+    "heal",
+    "crash",
+    "recover",
+    "loss",
+    "delay-scale",
+    "repair",
+    "duplicate",
+    "reorder",
+    "flap",
+    "partition-oneway",
+    "crash-storm",
+)
+
+
+def _finite(value: Any) -> bool:
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+    )
+
+
 @dataclass(frozen=True)
 class FaultEvent:
     """One timed fault action, applied off the simulator clock.
 
     ``action`` is one of ``partition``, ``heal``, ``crash``, ``recover``,
     ``loss`` (set the loss rate: a pair of these makes a loss burst),
-    ``delay-scale`` (scale sampled delays: a pair makes a delay spike) and
+    ``delay-scale`` (scale sampled delays: a pair makes a delay spike),
     ``repair`` (one ring-shaped anti-entropy sweep over the live
-    processes, for algorithms whose broadcast layer supports ``resync``).
-    Unused fields keep their defaults, which keeps the JSON small."""
+    processes, for algorithms whose broadcast layer supports ``resync``),
+    and the chaos vocabulary: ``duplicate`` (set the message-duplication
+    rate), ``reorder`` (a per-link delivery-inversion burst of
+    ``duration``), ``flap`` (the link between ``pids`` goes down/up for
+    ``count`` cycles of ``duration``), ``partition-oneway`` (block the
+    directed links from ``groups[0]`` to ``groups[1]`` until the next
+    heal) and ``crash-storm`` (crash all of ``pids`` now, recover them
+    all ``duration`` later).  Unused fields keep their defaults, which
+    keeps the JSON small."""
 
     time: float
     action: str
@@ -78,6 +112,9 @@ class FaultEvent:
     pid: int = -1
     rate: float = 0.0
     factor: float = 1.0
+    pids: Tuple[int, ...] = ()
+    duration: float = 0.0
+    count: int = 0
 
     # Named constructors ------------------------------------------------
     @staticmethod
@@ -109,6 +146,142 @@ class FaultEvent:
     @staticmethod
     def repair(time: float) -> "FaultEvent":
         return FaultEvent(time, "repair")
+
+    @staticmethod
+    def duplicate(time: float, rate: float) -> "FaultEvent":
+        return FaultEvent(time, "duplicate", rate=rate)
+
+    @staticmethod
+    def reorder(time: float, duration: float) -> "FaultEvent":
+        return FaultEvent(time, "reorder", duration=duration)
+
+    @staticmethod
+    def flap(
+        time: float, src: int, dst: int, cycles: int = 3, period: float = 1.0
+    ) -> "FaultEvent":
+        return FaultEvent(
+            time, "flap", pids=(src, dst), count=cycles, duration=period
+        )
+
+    @staticmethod
+    def partition_oneway(
+        time: float, src_group: Iterable[int], dst_group: Iterable[int]
+    ) -> "FaultEvent":
+        return FaultEvent(
+            time,
+            "partition-oneway",
+            groups=(tuple(src_group), tuple(dst_group)),
+        )
+
+    @staticmethod
+    def crash_storm(
+        time: float, pids: Iterable[int], downtime: float = 3.0
+    ) -> "FaultEvent":
+        return FaultEvent(
+            time, "crash-storm", pids=tuple(pids), duration=downtime
+        )
+
+    # ------------------------------------------------------------------
+    def validate(self) -> "FaultEvent":
+        """Reject malformed events with a clear message, at spec-parse
+        time — not deep inside ``FaultSchedule.apply`` mid-run.  Returns
+        ``self`` so callers can validate inline."""
+        if not _finite(self.time) or self.time < 0:
+            raise ValueError(
+                f"fault event time must be a finite number >= 0, "
+                f"got {self.time!r}"
+            )
+        action = self.action
+        if action not in FAULT_ACTIONS:
+            known = ", ".join(FAULT_ACTIONS)
+            raise ValueError(
+                f"unknown fault action {action!r}; known: {known}"
+            )
+        if action in ("loss", "duplicate"):
+            if not _finite(self.rate) or not (0.0 <= self.rate < 1.0):
+                raise ValueError(
+                    f"{action} rate must be in [0, 1), got {self.rate!r}"
+                )
+        elif action == "delay-scale":
+            if not _finite(self.factor) or self.factor <= 0:
+                raise ValueError(
+                    f"delay-scale factor must be a finite number > 0, "
+                    f"got {self.factor!r}"
+                )
+        elif action in ("crash", "recover"):
+            if not isinstance(self.pid, int) or self.pid < 0:
+                raise ValueError(
+                    f"{action} needs a process id >= 0, got {self.pid!r}"
+                )
+        elif action == "partition":
+            self._check_groups(minimum_groups=1)
+        elif action == "partition-oneway":
+            if len(self.groups) != 2:
+                raise ValueError(
+                    "partition-oneway needs exactly two groups "
+                    f"(sources, destinations), got {len(self.groups)}"
+                )
+            self._check_groups(minimum_groups=2)
+        elif action == "reorder":
+            if not _finite(self.duration) or self.duration <= 0:
+                raise ValueError(
+                    f"reorder burst duration must be > 0, "
+                    f"got {self.duration!r}"
+                )
+        elif action == "flap":
+            if len(self.pids) != 2 or self.pids[0] == self.pids[1]:
+                raise ValueError(
+                    f"flap needs two distinct pids, got {self.pids!r}"
+                )
+            if any(not isinstance(p, int) or p < 0 for p in self.pids):
+                raise ValueError(f"flap pids must be >= 0, got {self.pids!r}")
+            if not isinstance(self.count, int) or self.count < 1:
+                raise ValueError(
+                    f"flap needs count >= 1 cycles, got {self.count!r}"
+                )
+            if not _finite(self.duration) or self.duration <= 0:
+                raise ValueError(
+                    f"flap cycle period must be > 0, got {self.duration!r}"
+                )
+        elif action == "crash-storm":
+            if not self.pids:
+                raise ValueError("crash-storm needs a non-empty pids tuple")
+            if any(not isinstance(p, int) or p < 0 for p in self.pids):
+                raise ValueError(
+                    f"crash-storm pids must be >= 0, got {self.pids!r}"
+                )
+            if len(set(self.pids)) != len(self.pids):
+                raise ValueError(
+                    f"crash-storm pids must be distinct, got {self.pids!r}"
+                )
+            if not _finite(self.duration) or self.duration <= 0:
+                raise ValueError(
+                    f"crash-storm downtime must be > 0, got {self.duration!r}"
+                )
+        return self
+
+    def _check_groups(self, minimum_groups: int) -> None:
+        if len(self.groups) < minimum_groups:
+            raise ValueError(
+                f"{self.action} needs at least {minimum_groups} group(s), "
+                f"got {len(self.groups)}"
+            )
+        seen: set = set()
+        for group in self.groups:
+            if not group:
+                raise ValueError(f"{self.action} groups must be non-empty")
+            for pid in group:
+                if not isinstance(pid, int) or pid < 0:
+                    raise ValueError(
+                        f"{self.action} group members must be pids >= 0, "
+                        f"got {pid!r}"
+                    )
+                if pid in seen:
+                    raise ValueError(
+                        f"{self.action} groups must be disjoint "
+                        f"(pid {pid} appears twice)"
+                    )
+                seen.add(pid)
 
 
 # ----------------------------------------------------------------------
@@ -200,7 +373,10 @@ class ScenarioSpec:
                 pid=f.get("pid", -1),
                 rate=f.get("rate", 0.0),
                 factor=f.get("factor", 1.0),
-            )
+                pids=tuple(f.get("pids", ())),
+                duration=f.get("duration", 0.0),
+                count=f.get("count", 0),
+            ).validate()
             for f in data.get("faults", ())
         )
         w = data.get("workload", {})

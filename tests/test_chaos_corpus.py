@@ -1,0 +1,37 @@
+"""Replay the committed chaos regression corpus.
+
+Every ``tests/chaos_corpus/*.json`` document is a ddmin-minimised
+failing schedule found by ``python -m repro chaos`` against a sentinel
+injection.  Replaying it must reproduce at least one of the recorded
+failure kinds — if a refactor silently stops a repro from failing, the
+planted bug class is no longer being detected and the corpus file (or
+the detector) needs attention.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.chaos import replay_file
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "chaos_corpus")
+CORPUS = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+
+def test_corpus_is_not_empty():
+    assert CORPUS, "the chaos regression corpus vanished"
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS, ids=[os.path.basename(p) for p in CORPUS]
+)
+def test_corpus_repro_still_fails(path):
+    outcome, doc = replay_file(path)
+    assert doc["expect_failure"] is True
+    recorded = set(doc["failure_kinds"])
+    reproduced = recorded.intersection(outcome.kinds)
+    assert reproduced, (
+        f"{os.path.basename(path)} no longer reproduces: recorded kinds "
+        f"{sorted(recorded)}, replay produced {outcome.kinds or 'no failure'}"
+    )

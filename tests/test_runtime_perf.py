@@ -169,14 +169,20 @@ class TestIndexedCausalEquivalence:
 GOLDEN_FINGERPRINTS = {
     ("partition-during-writes", "ccv-fig5", 0):
         "7b5c85bf764784ea7c9cd639aeee0885b2a99ca57449ed0864286e5483b9e193",
+    # churn and rolling-crashes route through crash recovery: supervised
+    # resync (PR 6) schedules a verification check RESYNC_TIMEOUT after
+    # each recovery, which extends simulated quiescence and therefore the
+    # timestamps of the end-of-run probe reads.  Delivered values and
+    # delivery order are unchanged (checked by the stranded-resync tests);
+    # the goldens below were re-pinned for the new probe times.
     ("churn", "cc-fig4", 1):
-        "1dc25305674cf7745f51ec634ec85ed7fd7aa3ac0fa14623156f7e675e0d1389",
+        "a967072f70d66d062f93261bc098ce2716ed870ddcd90a0520612c843fc2b321",
     ("long-fat-network", "ccv-generic", 0):
         "1063f1df38f51675baf0e63ce390352a666cbc54f0567be54ae96d2857cd4ac9",
     ("flaky-link", "gossip", 0):
         "c54472f6ff00d4a15555af3fa4d4804a6d8d66ae8b1e835645a9f379fe0f0c1c",
     ("rolling-crashes", "pram", 0):
-        "2e4fb2ae0802ea04bfa65bf9a7847de0b34f8b2ca9ed75374aa2680ce57270db",
+        "77c661fa8433b00ad78b9502c1450cada12a9f1b83890250e435a4116ec4ed53",
     ("open-loop-overload", "lww", 0):
         "d575ce418dd7591be3221c674bcd5a9bf34d90490f8e1ce8df4371df95c7657e",
     ("hot-key-contention", "ccv-fig5", 1):
