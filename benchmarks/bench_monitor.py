@@ -1,0 +1,394 @@
+"""Throughput benchmark for the streaming bad-pattern monitor.
+
+The enumeration-search benchmarks (``bench_search_scaling.py``) track the
+exponential checker; this one tracks the *polynomial* streaming monitor
+(``repro.criteria.streaming_monitor``): operations per wall-clock second
+and memory high-water on synthetic correct-by-construction CCv histories
+of 10k, 100k and 1M operations, plus first-violation detection latency on
+a history with a known violation spliced mid-stream::
+
+    PYTHONPATH=src python benchmarks/bench_monitor.py                  # full sweep
+    PYTHONPATH=src python benchmarks/bench_monitor.py --smoke          # CI guard
+    PYTHONPATH=src python benchmarks/bench_monitor.py \
+        --baseline benchmarks/results/BENCH_monitor_seed.json          # compare
+
+The histories are generated directly (no simulator): a global issue
+order arbitrates all writes, every process observes a monotone prefix of
+it plus its own writes, and reads return the last-k visible writes per
+stream — visibility is prefix-closed along the issue order, so the
+history satisfies CCv by construction and the monitor must report
+``ok=True`` on every clean cell.  The generator is seeded and
+deterministic, so verdicts (and the spliced violation's pattern + index)
+are part of the JSON and ``--baseline`` fails on any verdict drift;
+throughput and memory are compared informationally (clock noise moves
+them) with a hard floor: the 100k-op cell must stream at
+``--min-ops-per-sec`` (default 10k ops/s) and the wall-time exponent
+between successive cell sizes must stay sub-quadratic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import platform
+import random
+import sys
+import time
+import tracemalloc
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Tuple
+
+_HERE = pathlib.Path(__file__).resolve().parent
+_ROOT = _HERE.parent
+if str(_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.core.operations import BOTTOM, Invocation  # noqa: E402
+from repro.criteria.streaming_monitor import StreamingMonitor  # noqa: E402
+
+#: cell sizes of the full sweep (ops per history)
+FULL_SIZES = (10_000, 100_000, 1_000_000)
+#: cell sizes of the CI smoke slice (wall-capped)
+SMOKE_SIZES = (10_000, 100_000)
+
+#: generator shape shared by every cell
+N_PROCS = 8
+STREAMS = 4
+K = 2
+WRITE_RATIO = 0.5
+MAX_LAG = 64  # delivery frontier may trail the issue order by this many writes
+
+
+def synthetic_ccv_ops(
+    seed: int, total_ops: int
+) -> List[Tuple[int, Invocation, Any]]:
+    """A correct-by-construction CCv operation stream, in issue order.
+
+    Writes are arbitrated by a single global issue order; process ``p``
+    observes a monotone prefix of it (its delivery frontier) plus its own
+    writes, and a read returns the last :data:`K` visible writes of the
+    stream in issue order.  Every visible set is prefix-closed along the
+    issue order, hence causally closed, hence the history is CCv with the
+    issue order as arbitration.
+    """
+    rng = random.Random(seed)
+    # per-stream global write log: parallel (issue-index, value) columns
+    gw_idx: List[List[int]] = [[] for _ in range(STREAMS)]
+    gw_val: List[List[int]] = [[] for _ in range(STREAMS)]
+    issued = 0  # global write count == next issue index
+    frontier = [0] * N_PROCS  # delivered prefix length, per process
+    own: List[List[List[Tuple[int, int]]]] = [
+        [[] for _ in range(STREAMS)] for _ in range(N_PROCS)
+    ]
+    ops: List[Tuple[int, Invocation, Any]] = []
+    value = 0
+    for _ in range(total_ops):
+        p = rng.randrange(N_PROCS)
+        # advance p's frontier to within MAX_LAG of the issue order
+        target = max(frontier[p], issued - rng.randrange(MAX_LAG + 1))
+        if target > frontier[p]:
+            frontier[p] = target
+            for x in range(STREAMS):
+                mine = own[p][x]
+                while mine and mine[0][0] < target:
+                    mine.pop(0)
+        x = rng.randrange(STREAMS)
+        if rng.random() < WRITE_RATIO:
+            value += 1
+            gw_idx[x].append(issued)
+            gw_val[x].append(value)
+            own[p][x].append((issued, value))
+            issued += 1
+            ops.append((p, Invocation("w", (x, value)), BOTTOM))
+        else:
+            # last K of (delivered prefix of stream x) ∪ (own undelivered)
+            cut = bisect_left(gw_idx[x], frontier[p])
+            mine = own[p][x]
+            tail = [
+                (gw_idx[x][i], gw_val[x][i]) for i in range(max(0, cut - K), cut)
+            ] + mine[-K:]
+            tail.sort()
+            window = [v for _, v in tail[-K:]]
+            window = [0] * (K - len(window)) + window
+            ops.append((p, Invocation("r", (x,)), tuple(window)))
+    return ops
+
+
+def splice_violation(
+    ops: List[Tuple[int, Invocation, Any]], at: int
+) -> Tuple[List[Tuple[int, Invocation, Any]], int]:
+    """Insert a window-order violation closing at stream index ``at+2``:
+    one process writes w1 then w2 (so w1 is causally before w2) and then
+    reads a window claiming w2 is *older* than w1.  The gadget is
+    confined to fresh values on one process, so it cannot interact with
+    the surrounding clean stream — the first violation is exactly here."""
+    w1, w2 = 10_000_000, 10_000_001
+    x = STREAMS - 1
+    gadget = [
+        (0, Invocation("w", (x, w1)), BOTTOM),
+        (0, Invocation("w", (x, w2)), BOTTOM),
+        (0, Invocation("r", (x,)), (w2, w1)),  # inverted vs program order
+    ]
+    out = ops[:at] + gadget + ops[at:]
+    return out, at + 2
+
+
+def run_cell(
+    seed: int,
+    total_ops: int,
+    criteria: Tuple[str, ...],
+    *,
+    violation_at: Optional[int] = None,
+    trace_memory: bool = True,
+) -> Dict[str, Any]:
+    ops = synthetic_ccv_ops(seed, total_ops)
+    expected_index: Optional[int] = None
+    if violation_at is not None:
+        ops, expected_index = splice_violation(ops, violation_at)
+
+    def stream_once() -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        monitor = StreamingMonitor(
+            N_PROCS, streams=STREAMS, k=K, criteria=criteria
+        )
+        feed = monitor.feed
+        for p, invocation, output in ops:
+            feed(p, invocation, output)
+        verdicts = monitor.finalize()
+        return (
+            {
+                c: {
+                    "ok": v.ok,
+                    "pattern": v.violation.pattern if v.violation else None,
+                    "index": v.violation.index if v.violation else None,
+                }
+                for c, v in verdicts.items()
+            },
+            monitor.stats(),
+        )
+
+    t0 = time.perf_counter()
+    verdicts, stats = stream_once()
+    wall = time.perf_counter() - t0
+
+    mem_high_water = None
+    if trace_memory:
+        tracemalloc.start()
+        stream_once()
+        _, mem_high_water = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+    return {
+        "ops": len(ops),
+        "seed": seed,
+        "criteria": list(criteria),
+        "wall": wall,
+        "ops_per_sec": len(ops) / wall if wall else 0.0,
+        "mem_high_water": mem_high_water,
+        "verdicts": verdicts,
+        "expected_violation_index": expected_index,
+        "stats": {
+            key: stats.get(key)
+            for key in (
+                "ops_seen",
+                "rf_edges",
+                "cf_edges",
+                "d_edges",
+                "hb_edges",
+                "patterns_checked",
+                "propagate_steps",
+                "first_violation_index",
+            )
+        },
+    }
+
+
+def scaling_exponents(cells: List[Dict[str, Any]]) -> List[float]:
+    """Wall-time growth exponents between successive clean cell sizes
+    (t ~ N^alpha); sub-quadratic means every alpha < 2."""
+    alphas = []
+    for small, big in zip(cells, cells[1:]):
+        if small["wall"] <= 0 or big["ops"] == small["ops"]:
+            continue
+        alphas.append(
+            math.log(big["wall"] / small["wall"])
+            / math.log(big["ops"] / small["ops"])
+        )
+    return alphas
+
+
+def compare_to_baseline(
+    report: Dict[str, Any], baseline: Dict[str, Any]
+) -> Tuple[Dict[str, Any], int]:
+    """Verdicts (incl. the spliced violation's pattern + index) must
+    match; throughput/memory are informational."""
+    mismatches = 0
+    rows = []
+    base_cells = {
+        (c["ops"], c["seed"], tuple(c["criteria"])): c
+        for c in baseline.get("cells", [])
+    }
+    for cell in report["cells"]:
+        key = (cell["ops"], cell["seed"], tuple(cell["criteria"]))
+        base = base_cells.get(key)
+        if base is None:
+            mismatches += 1
+            print(f"CELL MISSING FROM BASELINE: {key}", file=sys.stderr)
+            continue
+        drift = cell["verdicts"] != base["verdicts"]
+        if drift:
+            mismatches += 1
+            print(f"VERDICT DRIFT in {key}", file=sys.stderr)
+        speedup = (
+            cell["ops_per_sec"] / base["ops_per_sec"]
+            if base.get("ops_per_sec")
+            else 0.0
+        )
+        rows.append(
+            {"cell": list(key[:2]), "speedup": round(speedup, 2), "drift": drift}
+        )
+    base_violation = baseline.get("violation_cell")
+    if base_violation and report.get("violation_cell"):
+        new = report["violation_cell"]
+        if (
+            new["verdicts"] != base_violation["verdicts"]
+            or new["stats"]["first_violation_index"]
+            != base_violation["stats"]["first_violation_index"]
+        ):
+            mismatches += 1
+            print("VIOLATION-CELL DRIFT vs baseline", file=sys.stderr)
+    return {"cells": rows}, mismatches
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="10k+100k cells only, memory traced on the largest (CI guard)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--min-ops-per-sec", type=float, default=10_000.0,
+        help="hard floor for the 100k-op cell (exit 2 below it)",
+    )
+    parser.add_argument(
+        "--max-seconds", type=float, default=None,
+        help="fail (exit 2) when the sweep exceeds this wall-time",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="earlier BENCH_monitor.json to compare (exit 1 on verdict drift)",
+    )
+    parser.add_argument("--out", default="BENCH_monitor.json")
+    args = parser.parse_args(argv)
+
+    sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
+    t_start = time.perf_counter()
+    cells: List[Dict[str, Any]] = []
+    for total_ops in sizes:
+        # tracemalloc multiplies the traced run's wall several-fold: the
+        # full sweep traces up to 100k (the 1M high-water adds no signal
+        # beyond the trend), the wall-capped smoke only the 10k cell
+        trace = total_ops <= (10_000 if args.smoke else 100_000)
+        cell = run_cell(
+            args.seed, total_ops, ("WCC", "CCV"), trace_memory=trace
+        )
+        cells.append(cell)
+        mem = (
+            f"{cell['mem_high_water'] / 1e6:7.1f}MB"
+            if cell["mem_high_water"] is not None
+            else "   (untraced)"
+        )
+        print(
+            f"{cell['ops']:>9d} ops wall={cell['wall']:7.2f}s "
+            f"ops/s={cell['ops_per_sec']:>9.0f} mem={mem} "
+            f"hb_edges={cell['stats']['hb_edges']}",
+            file=sys.stderr,
+        )
+        clean = all(v["ok"] is True for v in cell["verdicts"].values())
+        if not clean:
+            print(f"UNEXPECTED VERDICT on clean cell: {cell['verdicts']}",
+                  file=sys.stderr)
+            return 1
+
+    # mid-stream detection: violation spliced at the halfway mark of a
+    # 100k-op stream; the monitor must flag it with the exact index
+    violation_cell = run_cell(
+        args.seed, 100_000, ("WCC", "CCV"),
+        violation_at=50_000, trace_memory=False,
+    )
+    detected = violation_cell["stats"]["first_violation_index"]
+    print(
+        f"violation cell: first_violation_index={detected} "
+        f"(expected {violation_cell['expected_violation_index']}) "
+        f"wall={violation_cell['wall']:.2f}s",
+        file=sys.stderr,
+    )
+    if detected != violation_cell["expected_violation_index"]:
+        print("VIOLATION NOT DETECTED AT THE SPLICE POINT", file=sys.stderr)
+        return 1
+
+    alphas = scaling_exponents(cells)
+    report: Dict[str, Any] = {
+        "benchmark": "streaming-monitor",
+        "smoke": args.smoke,
+        "seed": args.seed,
+        "python": platform.python_version(),
+        "shape": {
+            "n": N_PROCS, "streams": STREAMS, "k": K,
+            "write_ratio": WRITE_RATIO, "max_lag": MAX_LAG,
+        },
+        "cells": cells,
+        "violation_cell": violation_cell,
+        "totals": {
+            "wall": time.perf_counter() - t_start,
+            "scaling_exponents": [round(a, 3) for a in alphas],
+            "ops_per_sec_at_100k": next(
+                (c["ops_per_sec"] for c in cells if c["ops"] == 100_000), None
+            ),
+        },
+    }
+
+    exit_code = 0
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        comparison, mismatches = compare_to_baseline(report, baseline)
+        report["baseline_comparison"] = comparison
+        print("vs baseline:", json.dumps(comparison), file=sys.stderr)
+        if mismatches:
+            exit_code = 1
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(
+        f"total wall {report['totals']['wall']:.1f}s, scaling exponents "
+        f"{report['totals']['scaling_exponents']}, report -> {args.out}",
+        file=sys.stderr,
+    )
+
+    at_100k = report["totals"]["ops_per_sec_at_100k"]
+    if at_100k is not None and at_100k < args.min_ops_per_sec:
+        print(
+            f"THROUGHPUT REGRESSION: {at_100k:.0f} ops/s at 100k ops "
+            f"< {args.min_ops_per_sec:.0f}",
+            file=sys.stderr,
+        )
+        exit_code = 2
+    if any(a >= 2.0 for a in alphas):
+        print(f"SUPER-QUADRATIC SCALING: exponents {alphas}", file=sys.stderr)
+        exit_code = 2
+    if args.max_seconds is not None and report["totals"]["wall"] > args.max_seconds:
+        print(
+            f"WALL-TIME REGRESSION: {report['totals']['wall']:.1f}s "
+            f"> {args.max_seconds}s",
+            file=sys.stderr,
+        )
+        exit_code = 2
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -249,6 +249,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
             seeds=args.seeds,
             fast=args.fast,
             pool=pool,
+            monitor=args.monitor,
         )
         if args.scale:
             scale_report = run_matrix(
@@ -259,6 +260,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
                 seeds=args.seeds,
                 fast=args.fast,
                 pool=pool,
+                monitor=args.monitor,
             )
             report.cells.extend(scale_report.cells)
     print(format_matrix_report(report))
@@ -318,6 +320,19 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+#: monitor counters surfaced by ``classify --streaming`` / ``--json``,
+#: mirroring the search-side ``_WORK_COUNTERS``
+_MONITOR_COUNTERS = (
+    "ops_seen",
+    "rf_edges",
+    "cf_edges",
+    "d_edges",
+    "hb_edges",
+    "patterns_checked",
+    "first_violation_index",
+)
+
+
 def cmd_classify(args: argparse.Namespace) -> int:
     with open(args.file) as fh:
         spec = json.load(fh)
@@ -327,6 +342,11 @@ def cmd_classify(args: argparse.Namespace) -> int:
 
     args.jobs = resolve_jobs(args.jobs)
     rows = []
+    doc: Dict[str, Any] = {
+        "file": args.file,
+        "history": str(history),
+        "criteria": {},
+    }
     for criterion in criteria:
         kwargs: Dict[str, Any] = {}
         if criterion in ("WCC", "CC", "CCV"):
@@ -342,7 +362,64 @@ def cmd_classify(args: argparse.Namespace) -> int:
                 _format_work(result.stats or {}),
             ]
         )
+        doc["criteria"][criterion] = {
+            "ok": bool(result.ok),
+            "reason": result.reason,
+            "stats": dict(result.stats or {}),
+        }
     print(render_table(["criterion", "holds", "reason", "work"], rows))
+    if args.streaming or args.json_out:
+        from .criteria.streaming_monitor import (
+            SUPPORTED_CRITERIA,
+            replay_history,
+        )
+
+        wanted = [c for c in criteria if c in SUPPORTED_CRITERIA]
+        verdicts = replay_history(
+            history, adt, criteria=wanted or SUPPORTED_CRITERIA
+        )
+        stats: Dict[str, Any] = {}
+        srows = []
+        doc["streaming"] = {"criteria": {}, "stats": {}}
+        for criterion, verdict in verdicts.items():
+            stats = dict(verdict.stats or stats)
+            holds = (
+                "?" if verdict.ok is None else ("yes" if verdict.ok else "no")
+            )
+            pattern = verdict.violation.pattern if verdict.violation else "-"
+            srows.append([criterion, holds, pattern, verdict.reason or "-"])
+            doc["streaming"]["criteria"][criterion] = {
+                "ok": verdict.ok,
+                "reason": verdict.reason,
+                "pattern": verdict.violation.pattern
+                if verdict.violation
+                else None,
+                "first_violation_index": verdict.violation.index
+                if verdict.violation
+                else None,
+                "witness": [list(op) for op in verdict.violation.witness]
+                if verdict.violation
+                else None,
+            }
+        doc["streaming"]["stats"] = {
+            key: stats.get(key) for key in _MONITOR_COUNTERS if key in stats
+        }
+        if args.streaming:
+            print()
+            print("streaming monitor (single-pass bad-pattern search):")
+            print(
+                render_table(["criterion", "holds", "pattern", "reason"], srows)
+            )
+            work = " ".join(
+                f"{key}={stats[key]}"
+                for key in _MONITOR_COUNTERS
+                if stats.get(key) is not None
+            )
+            print(f"monitor work: {work or '-'}")
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(doc, fh, indent=2)
+        print(f"report written to {args.json_out}")
     return 0
 
 
@@ -400,6 +477,17 @@ def build_parser() -> argparse.ArgumentParser:
         "broadcast timestamps first; 'lex' is the lexicographic escape "
         "hatch (verdicts are identical either way)",
     )
+    p.add_argument(
+        "--streaming", action="store_true",
+        help="also run the streaming bad-pattern monitor over the history "
+        "(single pass, polynomial time) and print its verdicts, violating "
+        "pattern and work counters next to the enumeration search's",
+    )
+    p.add_argument(
+        "--json", dest="json_out", metavar="FILE",
+        help="dump verdicts + work counters (search and, with --streaming "
+        "implied, monitor stats) as JSON to FILE",
+    )
     p.set_defaults(fn=cmd_classify)
 
     p = sub.add_parser(
@@ -427,6 +515,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", action="store_true",
         help="also run the 10k-op scale-up scenarios (scale-n8-hotkey, "
         "scale-n12-hotkey) with the convergence-checkable algorithms",
+    )
+    p.add_argument(
+        "--monitor", action="store_true",
+        help="attach the streaming bad-pattern monitor to every cell: "
+        "verdicts appear next to the advertised criterion, disagreements "
+        "with the enumeration search fail the cell, and cells the search "
+        "cannot decide (the --scale tier) get conclusive causal verdicts",
     )
     p.add_argument("--json", help="also dump the report as JSON to FILE")
     p.add_argument(

@@ -1,0 +1,1385 @@
+"""Streaming bad-pattern monitor: polynomial-time CC/CCv verdicts online.
+
+The enumeration search (:mod:`repro.criteria.causal_search`) decides
+histories of a few dozen events by exploring total orders.  Bouajjani,
+Enea, Guerraoui & Hamza, *On Verifying Causal Consistency* (POPL'17,
+arXiv 1611.00580) show that for **differentiated** histories — no value
+written twice to the same variable, no write of the initial value —
+violations of the causal criteria reduce to a fixed catalogue of **bad
+patterns** over the *minimal* causal order ``co = (po ∪ rf)⁺``, each
+checkable in polynomial time.  This module generalises that catalogue
+from read/write registers to the paper's window streams ``W_k`` (a read
+returns the ``k`` most recent writes, oldest first, ``default``-padded)
+and evaluates it *incrementally*: operations are consumed one at a time,
+either live from a :class:`repro.runtime.recorder.HistoryRecorder`
+subscription or by replaying a finished :class:`History`, and the first
+violating pattern is flagged with a minimal witness the moment it
+closes.
+
+Pattern catalogue (the ``W_k`` generalisation; register patterns are the
+``k = 1`` case):
+
+``ThinAirRead``
+    a read returns a value never written to its stream;
+``MalformedWindow``
+    a window shows a default slot after a non-default one, or the same
+    (differentiated) write twice;
+``CyclicCO``
+    ``po ∪ rf`` is cyclic (a read is in the causal past of a write it
+    reads from);
+``WriteCOInitRead``
+    a window still shows default (initial) slots although strictly more
+    writes to the stream are in the read's causal past than the window
+    holds — some past write would have to be "un-applied";
+``WindowOrderCO``
+    two window slots contradict the causal order (the older slot's write
+    is causally *after* the newer slot's write);
+``WriteCORead``
+    a causally visible write that is **not** in the window is causally
+    after some window member — it cannot be linearised before the
+    window, nor inside it;
+``CyclicCF``
+    (CCv only) the conflict/arbitration constraints derived from all
+    reads — window members in slot order, every visible non-member
+    before the oldest member — close a cycle with ``co``: no total
+    arbitration order exists;
+``WriteHBInitRead`` / ``CyclicHB``
+    (CC only) the same two checks evaluated in the *per-process*
+    happens-before ``hb_p = (co ∪ D_p)⁺``, where ``D_p`` collects the
+    write-ordering constraints implied by the reads of process ``p``
+    jointly — this is what separates CC (one linearisation per process
+    explaining all its reads) from the per-read criteria; see the Fig. 3a
+    litmus, which is CCv but not CC.
+
+Soundness: every pattern above is derived from constraints that any
+causal order / arbitration must satisfy, so a pattern implies the
+criterion fails.  Completeness (no pattern ⇒ criterion holds) follows by
+constructing the witness orders from ``co`` plus the recorded edges —
+cross-validated against the enumeration search in
+``tests/test_streaming_monitor.py`` and the CI ``monitor-smoke`` job.
+
+Complexity: per operation amortised ``O(n·log ops + patterns)`` for the
+per-read/per-event criteria (``n`` = processes) via integer vector
+clocks stored in one flat array, first-coverage frontiers (``fvc``)
+maintained by amortised pointer sweeps, and per-(process, stream) sorted
+write indices; the CC machinery re-checks reads only when their
+happens-before past actually grows and is budget-capped (verdict
+``None`` rather than a wrong answer on pathological inputs).
+"""
+
+from __future__ import annotations
+
+import bisect
+from array import array
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.history import History
+from ..core.operations import BOTTOM, HIDDEN, Invocation
+
+__all__ = [
+    "MonitorViolation",
+    "MonitorVerdict",
+    "StreamingMonitor",
+    "monitor_for_adt",
+    "replay_history",
+    "SUPPORTED_CRITERIA",
+]
+
+#: criteria the monitor can decide, and which patterns kill which
+SUPPORTED_CRITERIA = ("WCC", "CC", "CCV")
+
+#: patterns over the minimal causal order: violate every causal criterion
+_CO_PATTERNS = (
+    "ThinAirRead",
+    "MalformedWindow",
+    "CyclicCO",
+    "WriteCOInitRead",
+    "WindowOrderCO",
+    "WriteCORead",
+)
+#: arbitration patterns: violate causal convergence only
+_CF_PATTERNS = ("CyclicCF",)
+#: per-process happens-before patterns: violate causal consistency only
+_HB_PATTERNS = ("WriteHBInitRead", "CyclicHB")
+
+_INF = 1 << 30
+
+
+@dataclass(frozen=True)
+class MonitorViolation:
+    """A closed bad pattern: the first one is the monitor's witness."""
+
+    pattern: str
+    criteria: Tuple[str, ...]  # criteria this pattern violates
+    index: int  # 0-based stream position at which the pattern closed
+    witness: Tuple[Tuple[int, int], ...]  # (pid, op-index-within-pid) ops
+    detail: str = ""
+
+    def as_failure(self) -> Tuple[str, Dict[str, Any]]:
+        """The shared (kind, detail) failure shape (chaos / explore)."""
+        return (
+            f"bad-pattern:{self.pattern}",
+            {
+                "pattern": self.pattern,
+                "criteria": list(self.criteria),
+                "index": self.index,
+                "witness": [list(op) for op in self.witness],
+                "detail": self.detail,
+            },
+        )
+
+
+@dataclass
+class MonitorVerdict:
+    """Per-criterion outcome; ``ok is None`` means inconclusive."""
+
+    criterion: str
+    ok: Optional[bool]
+    violation: Optional[MonitorViolation] = None
+    reason: str = ""
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    def conclusive(self) -> bool:
+        return self.ok is not None
+
+
+class StreamingMonitor:
+    """Incremental bad-pattern checker over a stream of operations.
+
+    ``feed`` one operation at a time (per-process program order must be
+    respected; interleaving across processes is free), then ``finalize``
+    for the verdicts.  ``subscriber()`` adapts the monitor to the
+    recorder's zero-copy subscription hook.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        streams: int = 1,
+        k: int = 1,
+        default: Any = 0,
+        criteria: Sequence[str] = SUPPORTED_CRITERIA,
+        cc_budget: int = 200_000,
+        cf_budget: int = 2_000_000,
+        propagation_budget: int = 4_000_000,
+    ) -> None:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        bad = [c for c in criteria if c not in SUPPORTED_CRITERIA]
+        if bad:
+            raise ValueError(
+                f"unsupported monitor criteria {bad}; supported: "
+                f"{', '.join(SUPPORTED_CRITERIA)}"
+            )
+        self.n = n
+        self.streams = streams
+        self.k = k
+        self.default = default
+        self.criteria = tuple(dict.fromkeys(criteria))
+        self._track_cf = "CCV" in self.criteria
+        self._track_hb = "CC" in self.criteria
+        self.cc_budget = cc_budget
+        self.cf_budget = cf_budget
+        self.propagation_budget = propagation_budget
+
+        nn = n
+        # per-op flat state, indexed by global arrival order g
+        self._g_pid = array("i")
+        self._g_lidx = array("i")
+        self._g_w = array("i")  # write ordinal, -1 for reads
+        self._po_succ = array("i")
+        self._vc = array("i")  # flat, nn entries per op: co-past counts
+        self._plen = [0] * nn  # ops fed per process
+        self._proc_last = [-1] * nn  # g of the latest op per process
+
+        # writes, indexed by write ordinal u
+        self._u_g = array("i")
+        self._u_key: List[Any] = []
+        self._u_val: List[Any] = []
+        self._fvc = array("i")  # flat, nn per write: first covering lidx
+        self._writer: Dict[Tuple[Any, Any], int] = {}  # (key, value) -> u
+        self._wl: Dict[Tuple[Any, int], Tuple[array, array]] = {}
+        self._pw: List[Tuple[array, array]] = [
+            (array("i"), array("i")) for _ in range(nn)
+        ]
+
+        # read-from edges (flat; an index is built lazily if propagation
+        # across rf ever becomes necessary, i.e. on out-of-order feeds)
+        self._rf_w = array("i")
+        self._rf_r = array("i")
+        self._rf_index: Optional[Dict[int, List[int]]] = None
+
+        # reads parked until their window writers exist
+        self._pending: Dict[Tuple[int, Any], List[int]] = {}
+        self._parked: Dict[int, List[Any]] = {}  # g -> [key, out, missing]
+
+        # checked reads, for re-checking when a late rf edge grows their
+        # causal past (only happens on out-of-order feeds)
+        self._r_g = array("i")
+        self._r_key: List[Any] = []
+        self._r_slots: List[Tuple[Any, ...]] = []
+        self._r_index: Optional[Dict[int, int]] = None
+        self._regrow: set = set()  # read gs whose checks must re-run
+        self._co_grew = False  # some existing op's past grew: audit edges
+
+        # conflict (arbitration) constraints, CCv
+        self._cf_seen: set = set()
+        self._cf_out: Dict[int, List[int]] = {}
+        self._cf_src: List[List[Tuple[int, int]]] = [[] for _ in range(nn)]
+        # per (reader process, stream): enumeration watermarks + the
+        # previous window, so arbitration candidates are visited O(1)
+        # times each (older candidates stay ordered transitively through
+        # the dominance/chain edges of earlier reads)
+        self._cf_wm: Dict[Tuple[int, int], List[Any]] = {}
+
+        # per-process happens-before constraints, CC
+        if self._track_hb:
+            self._d_seen: List[set] = [set() for _ in range(nn)]
+            self._d_edges: List[List[Tuple[int, int]]] = [[] for _ in range(nn)]
+            self._d_out: List[Dict[int, List[int]]] = [{} for _ in range(nn)]
+            self._d_src: List[List[List[Tuple[int, int]]]] = [
+                [[] for _ in range(nn)] for _ in range(nn)
+            ]
+            # read records per process: [g, key, window-u-tuple, s, hb-cov]
+            self._q_reads: List[List[List[Any]]] = [[] for _ in range(nn)]
+            self._hbrec_of: Dict[int, List[Any]] = {}
+
+        # verdict state
+        self._violations: Dict[str, MonitorViolation] = {}
+        self._inconclusive: Dict[str, str] = {}
+        self._nondiff: Optional[str] = None
+        self._diff_checked = False  # replay pre-scans differentiation
+
+        # stats
+        self.ops_seen = 0
+        self.reads_checked = 0
+        self.writes_seen = 0
+        self.rf_edges = 0
+        self.cf_edges = 0
+        self.d_edges = 0
+        self.patterns_checked = 0
+        self.propagate_steps = 0
+        self.cc_rechecks = 0
+        self.pending_peak = 0
+
+    # ------------------------------------------------------------------
+    # feeding
+    # ------------------------------------------------------------------
+    def subscriber(self) -> Callable[[Any], None]:
+        """A callback for :meth:`HistoryRecorder.subscribe`: consumes the
+        recorder's own :class:`OpRecord` without copying it."""
+
+        feed = self.feed
+
+        def on_record(rec: Any) -> None:
+            feed(rec.pid, rec.invocation, rec.output)
+
+        return on_record
+
+    def feed(
+        self, pid: int, invocation: Invocation, output: Any
+    ) -> Optional[MonitorViolation]:
+        """Consume one operation; returns a violation iff one *closed* now.
+
+        Operations of one process must arrive in program order; streams
+        from different processes may interleave arbitrarily (a read whose
+        writer has not arrived yet is parked and checked on arrival).
+
+        A mid-stream violation is provisional: the bad-pattern catalogue
+        is only sound for differentiated streams, so a duplicate value
+        arriving *later* retracts every recorded violation —
+        :meth:`finalize` then reports all criteria inconclusive.
+        """
+        self.ops_seen += 1
+        if self._decided():
+            # full bookkeeping stops once every criterion is decided, but
+            # the differentiation screen must see the remaining writes:
+            # an ok=False verdict is retracted if the stream turns out
+            # non-differentiated (rf inference, hence every pattern,
+            # assumed unique values)
+            if (
+                self._nondiff is None
+                and not self._diff_checked
+                and invocation.method == "w"
+            ):
+                args = invocation.args
+                key, value = args if len(args) == 2 else (0, args[0])
+                if value == self.default:
+                    self._mark_nondiff(
+                        f"write of the default value {value!r} to stream {key}"
+                    )
+                elif (key, value) in self._writer:
+                    self._mark_nondiff(
+                        f"value {value!r} written twice to stream {key}"
+                    )
+                else:
+                    # ordinal -1: only membership matters from here on
+                    self._writer[(key, value)] = -1
+            return None
+        method = invocation.method
+        args = invocation.args
+        if method == "w":
+            if len(args) == 2:
+                key, value = args
+            else:
+                key, value = 0, args[0]
+            return self._feed_write(pid, key, value)
+        if method == "r":
+            key = args[0] if args else 0
+            if output is HIDDEN:
+                self._new_op(pid)  # a crashed read constrains nothing
+                return None
+            window = output if isinstance(output, tuple) else (output,)
+            return self._feed_read(pid, key, window)
+        # non-window methods (enq/push/add/inc/...) are out of scope
+        self._mark_unsupported(f"unsupported method {method!r}")
+        return None
+
+    # -- op bookkeeping -------------------------------------------------
+    def _new_op(self, pid: int) -> int:
+        nn = self.n
+        g = len(self._g_pid)
+        lidx = self._plen[pid]
+        self._plen[pid] = lidx + 1
+        self._g_pid.append(pid)
+        self._g_lidx.append(lidx)
+        self._g_w.append(-1)
+        self._po_succ.append(-1)
+        pred = self._proc_last[pid]
+        self._proc_last[pid] = g
+        vc = self._vc
+        if pred < 0:
+            vc.extend([0] * nn)
+        else:
+            self._po_succ[pred] = g
+            vc.extend(vc[pred * nn : (pred + 1) * nn])
+        vc[g * nn + pid] = lidx + 1
+        return g
+
+    def _feed_write(
+        self, pid: int, key: Any, value: Any
+    ) -> Optional[MonitorViolation]:
+        g = self._new_op(pid)
+        self.writes_seen += 1
+        u = len(self._u_g)
+        self._g_w[g] = u
+        self._u_g.append(g)
+        self._u_key.append(key)
+        self._u_val.append(value)
+        self._fvc.extend([_INF] * self.n)
+        lidx = self._g_lidx[g]
+        wl = self._wl.get((key, pid))
+        if wl is None:
+            wl = (array("i"), array("i"))
+            self._wl[(key, pid)] = wl
+        wl[0].append(lidx)
+        wl[1].append(u)
+        pw = self._pw[pid]
+        pw[0].append(lidx)
+        pw[1].append(u)
+        if not self._diff_checked:
+            if value == self.default:
+                self._mark_nondiff(
+                    f"write of the default value {value!r} to stream {key}"
+                )
+            elif (key, value) in self._writer:
+                self._mark_nondiff(
+                    f"value {value!r} written twice to stream {key}"
+                )
+        self._writer.setdefault((key, value), u)
+        waiters = self._pending.pop((key, value), None)
+        violation = None
+        if waiters:
+            for rg in waiters:
+                parked = self._parked.get(rg)
+                if parked is None:
+                    continue
+                parked[2] -= 1
+                if parked[2] == 0:
+                    del self._parked[rg]
+                    v = self._check_read(rg, parked[0], parked[1])
+                    violation = violation or v
+        if self._regrow or self._co_grew:
+            v = self._drain_regrow()
+            violation = violation or v
+        return violation
+
+    def _feed_read(
+        self, pid: int, key: int, window: Tuple[Any, ...]
+    ) -> Optional[MonitorViolation]:
+        g = self._new_op(pid)
+        if self._nondiff is not None:
+            return None  # reads are ambiguous from here on
+        # malformed-window screen: defaults only in the oldest slots
+        default = self.default
+        slots: List[Any] = []
+        seen_value = False
+        for v in window:
+            if v == default:
+                if seen_value:
+                    return self._record(
+                        "MalformedWindow",
+                        g,
+                        (g,),
+                        f"default slot after a non-default one: {window!r}",
+                    )
+            else:
+                seen_value = True
+                if v in slots:
+                    return self._record(
+                        "MalformedWindow",
+                        g,
+                        (g,),
+                        f"write {v!r} shown twice: {window!r}",
+                    )
+                slots.append(v)
+        missing = 0
+        for v in slots:
+            if (key, v) not in self._writer:
+                self._pending.setdefault((key, v), []).append(g)
+                missing += 1
+        if missing:
+            self._parked[g] = [key, tuple(slots), missing]
+            if len(self._parked) > self.pending_peak:
+                self.pending_peak = len(self._parked)
+            return None
+        violation = self._check_read(g, key, tuple(slots))
+        if self._regrow or self._co_grew:
+            v = self._drain_regrow()
+            violation = violation or v
+        return violation
+
+    # ------------------------------------------------------------------
+    # co primitives
+    # ------------------------------------------------------------------
+    def _merge_vc(self, dst_g: int, src_g: int) -> bool:
+        """``vc[dst] |= vc[src]``, sweeping first-coverage frontiers for
+        newly covered writes.  Returns True iff dst's past grew."""
+        nn = self.n
+        vc = self._vc
+        db = dst_g * nn
+        sb = src_g * nn
+        dp = self._g_pid[dst_g]
+        dl = self._g_lidx[dst_g]
+        fvc = self._fvc
+        changed = False
+        for q in range(nn):
+            new = vc[sb + q]
+            old = vc[db + q]
+            if new > old:
+                vc[db + q] = new
+                changed = True
+                if q != dp:
+                    lx, us = self._pw[q]
+                    i = bisect.bisect_left(lx, old)
+                    j = bisect.bisect_left(lx, new)
+                    for idx in range(i, j):
+                        f = us[idx] * nn + dp
+                        if fvc[f] > dl:
+                            fvc[f] = dl
+        return changed
+
+    def _propagate(self, g: int) -> None:
+        """Push a grown past along po and rf (no-op on in-order feeds).
+
+        Every *existing* op whose past grows this way was possibly
+        checked already with the smaller past, so its checks are stale:
+        grown reads (and the readers of grown writes, whose window
+        relations may have changed even if the reader's own past did
+        not) are queued in ``_regrow`` for re-checking, and ``_co_grew``
+        schedules a re-audit of the recorded cf/hb edges against the
+        grown causal order."""
+        stack = [g]
+        budget = self.propagation_budget
+        regrow = self._regrow
+        while stack:
+            self.propagate_steps += 1
+            if self.propagate_steps > budget:
+                self._mark_all_inconclusive("propagation budget exceeded")
+                return
+            cur = stack.pop()
+            succ = self._po_succ[cur]
+            if succ >= 0 and self._merge_vc(succ, cur):
+                stack.append(succ)
+                self._co_grew = True
+                if self._g_w[succ] < 0:
+                    regrow.add(succ)
+            if self._g_w[cur] >= 0:
+                for rg in self._readers_of_op(cur):
+                    if self._merge_vc(rg, cur):
+                        stack.append(rg)
+                        self._co_grew = True
+                    regrow.add(rg)
+        regrow.discard(g)  # the seed's own checks run with the final past
+
+    def _readers_of_op(self, g: int) -> List[int]:
+        if not self._rf_w:
+            return []
+        if self._rf_index is None:
+            index: Dict[int, List[int]] = {}
+            for w_u, r_g in zip(self._rf_w, self._rf_r):
+                index.setdefault(self._u_g[w_u], []).append(r_g)
+            self._rf_index = index
+        return self._rf_index.get(g, [])
+
+    def _read_index(self) -> Dict[int, int]:
+        if self._r_index is None:
+            self._r_index = {g: i for i, g in enumerate(self._r_g)}
+        return self._r_index
+
+    def _drain_regrow(self) -> Optional[MonitorViolation]:
+        """Re-run the checks of reads whose causal past grew after they
+        were first checked (late rf resolution on out-of-order feeds),
+        and re-audit recorded edges whenever co grew.  Never runs on
+        in-order feeds."""
+        violation: Optional[MonitorViolation] = None
+        while (self._regrow or self._co_grew) and not self._decided():
+            if self._co_grew:
+                self._co_grew = False
+                v = self._audit_edges()
+                violation = violation or v
+            index = self._read_index()
+            while self._regrow and not self._decided():
+                self.propagate_steps += 1
+                if self.propagate_steps > self.propagation_budget:
+                    self._mark_all_inconclusive(
+                        "propagation budget exceeded"
+                    )
+                    break
+                g = self._regrow.pop()
+                i = index.get(g)
+                if i is None:
+                    continue  # parked: checked on resolution instead
+                v = self._check_read(
+                    g, self._r_key[i], self._r_slots[i], recheck=True
+                )
+                violation = violation or v
+        if self._decided():
+            self._regrow.clear()
+            self._co_grew = False
+        return violation
+
+    def _audit_edges(self) -> Optional[MonitorViolation]:
+        """Growing co can close a cycle with *already recorded* cf/hb
+        edges without any new edge being added: re-test each edge's
+        reverse reachability against the grown order."""
+        violation: Optional[MonitorViolation] = None
+        if (
+            self._track_cf
+            and "CCV" not in self._violations
+            and "CCV" not in self._inconclusive
+        ):
+            for a, outs in self._cf_out.items():
+                for b in outs:
+                    self.propagate_steps += 1
+                    if self.propagate_steps > self.propagation_budget:
+                        self._mark_all_inconclusive(
+                            "propagation budget exceeded"
+                        )
+                        return violation
+                    self.patterns_checked += 1
+                    if self._reaches(b, a, self._cf_out, self._cf_src):
+                        violation = self._record(
+                            "CyclicCF",
+                            self._u_g[a],
+                            (self._u_g[a], self._u_g[b]),
+                            f"no total arbitration order: writes "
+                            f"{self._u_val[a]!r} and {self._u_val[b]!r} "
+                            f"are constrained in both directions",
+                            criteria=("CCV",),
+                        )
+                        break
+                if violation is not None:
+                    break
+        if (
+            self._track_hb
+            and "CC" not in self._violations
+            and "CC" not in self._inconclusive
+        ):
+            for q in range(self.n):
+                found = None
+                for a, b in self._d_edges[q]:
+                    self.propagate_steps += 1
+                    if self.propagate_steps > self.propagation_budget:
+                        self._mark_all_inconclusive(
+                            "propagation budget exceeded"
+                        )
+                        return violation
+                    self.patterns_checked += 1
+                    if self._hb_reaches(q, b, a):
+                        found = self._record(
+                            "CyclicHB",
+                            self._u_g[a],
+                            (self._u_g[a], self._u_g[b]),
+                            f"no linearisation for process {q}: writes "
+                            f"{self._u_val[a]!r} and {self._u_val[b]!r} "
+                            f"are required in both orders",
+                            criteria=("CC",),
+                        )
+                        break
+                if found is not None:
+                    violation = violation or found
+                    break
+        return violation
+
+    def _add_rf(self, u: int, r_g: int) -> None:
+        self.rf_edges += 1
+        self._rf_w.append(u)
+        self._rf_r.append(r_g)
+        if self._rf_index is not None:
+            self._rf_index.setdefault(self._u_g[u], []).append(r_g)
+
+    def _covers(self, g: int, u: int) -> bool:
+        """Is write ``u`` in the co-past of op ``g`` (inclusive)?"""
+        wg = self._u_g[u]
+        return self._vc[g * self.n + self._g_pid[wg]] > self._g_lidx[wg]
+
+    def _first_cover(self, u: int, p: int) -> int:
+        """First op index of process ``p`` with write ``u`` in its past
+        (the write's own process: the write itself)."""
+        wg = self._u_g[u]
+        if self._g_pid[wg] == p:
+            return self._g_lidx[wg]
+        return self._fvc[u * self.n + p]
+
+    # ------------------------------------------------------------------
+    # per-read pattern checks
+    # ------------------------------------------------------------------
+    def _check_read(
+        self,
+        g: int,
+        key: int,
+        slots: Tuple[Any, ...],
+        recheck: bool = False,
+    ) -> Optional[MonitorViolation]:
+        if self._nondiff is not None or self._decided():
+            return None
+        if not recheck:
+            self.reads_checked += 1
+            if self._r_index is not None:
+                self._r_index[g] = len(self._r_g)
+            self._r_g.append(g)
+            self._r_key.append(key)
+            self._r_slots.append(slots)
+        nn = self.n
+        pid = self._g_pid[g]
+        lidx = self._g_lidx[g]
+        win = [self._writer[(key, v)] for v in slots]  # oldest..newest
+        s = len(win)
+
+        # CyclicCO: a window writer already has this read in its past
+        self.patterns_checked += 1
+        for u in win:
+            if self._vc[self._u_g[u] * nn + pid] > lidx:
+                return self._record(
+                    "CyclicCO",
+                    g,
+                    (self._u_g[u], g),
+                    f"read is in the causal past of the write it returns "
+                    f"(stream {key}, value {self._u_val[u]!r})",
+                )
+        # rf: the window writers join the read's causal past
+        grew = False
+        for u in win:
+            if not recheck:
+                self._add_rf(u, g)
+            if self._merge_vc(g, self._u_g[u]):
+                grew = True
+        if grew and (self._po_succ[g] >= 0 or self._rf_index is not None):
+            self._propagate(g)
+            if self._decided():
+                return None
+
+        # WindowOrderCO: an older slot causally after a newer one
+        self.patterns_checked += 1
+        for i in range(s):
+            for j in range(i + 1, s):
+                if self._covers(self._u_g[win[i]], win[j]):
+                    return self._record(
+                        "WindowOrderCO",
+                        g,
+                        (self._u_g[win[j]], self._u_g[win[i]], g),
+                        f"window {slots!r} of stream {key} contradicts "
+                        f"the causal order of its writes",
+                    )
+
+        vc = self._vc
+        base = g * nn
+        # |S|: writes to `key` in the read's causal past
+        total = 0
+        for q in range(nn):
+            wl = self._wl.get((key, q))
+            if wl is not None:
+                total += bisect.bisect_left(wl[0], vc[base + q])
+
+        if s < self.k:
+            # WriteCOInitRead: default slots visible but |S| > s
+            self.patterns_checked += 1
+            if total > s:
+                extra = self._find_extra(key, g, win)
+                return self._record(
+                    "WriteCOInitRead",
+                    g,
+                    (self._u_g[extra], g) if extra is not None else (g,),
+                    f"window of stream {key} shows initial slots but "
+                    f"{total} writes are causally visible",
+                )
+        else:
+            # WriteCORead: a visible non-member co-after a window member
+            self.patterns_checked += 1
+            bad = self._co_after_member(key, g, win)
+            if bad is not None:
+                w_extra, w_member = bad
+                return self._record(
+                    "WriteCORead",
+                    g,
+                    (self._u_g[w_member], self._u_g[w_extra], g),
+                    f"write {self._u_val[w_extra]!r} to stream {key} is "
+                    f"causally after window member "
+                    f"{self._u_val[w_member]!r} but not in the window",
+                )
+
+        violation: Optional[MonitorViolation] = None
+        if self._track_cf and "CCV" not in self._violations:
+            violation = self._cf_constraints(g, key, win, s, recheck)
+        if (
+            self._track_hb
+            and "CC" not in self._violations
+            and "CC" not in self._inconclusive
+        ):
+            rec = self._hbrec_of.get(g) if recheck else None
+            v = self._hb_constraints(g, key, slots, win, s, rec)
+            violation = violation or v
+        return violation
+
+    def _find_extra(
+        self, key: int, g: int, win: Sequence[int]
+    ) -> Optional[int]:
+        """Some causally visible write to ``key`` outside the window."""
+        nn = self.n
+        vc = self._vc
+        base = g * nn
+        members = set(win)
+        for q in range(nn):
+            wl = self._wl.get((key, q))
+            if wl is None:
+                continue
+            for idx in range(bisect.bisect_left(wl[0], vc[base + q])):
+                u = wl[1][idx]
+                if u not in members:
+                    return u
+        return None
+
+    def _co_after_member(
+        self, key: int, g: int, win: Sequence[int]
+    ) -> Optional[Tuple[int, int]]:
+        """A pair (extra write, window member) with the extra causally
+        after the member — the generalised WriteCORead."""
+        nn = self.n
+        vc = self._vc
+        base = g * nn
+        for q in range(nn):
+            wl = self._wl.get((key, q))
+            if wl is None:
+                continue
+            lo = _INF
+            for u in win:
+                c = self._first_cover(u, q)
+                if self._g_pid[self._u_g[u]] == q:
+                    c += 1  # strictly after the member itself
+                if c < lo:
+                    lo = c
+            hi = vc[base + q]
+            if lo >= hi:
+                continue
+            i = bisect.bisect_left(wl[0], lo)
+            j = bisect.bisect_left(wl[0], hi)
+            members = set(win)
+            for idx in range(i, j):
+                u = wl[1][idx]
+                if u in members:
+                    continue
+                # find a member it is after, for the witness
+                for m in win:
+                    c = self._first_cover(m, q)
+                    if self._g_pid[self._u_g[m]] == q:
+                        c += 1
+                    if wl[0][idx] >= c:
+                        return (u, m)
+        return None
+
+    # ------------------------------------------------------------------
+    # CCv: arbitration constraints
+    # ------------------------------------------------------------------
+    def _cf_constraints(
+        self,
+        g: int,
+        key: int,
+        win: Sequence[int],
+        s: int,
+        recheck: bool = False,
+    ) -> Optional[MonitorViolation]:
+        # window members must be arbitrated in slot order
+        for i in range(s - 1):
+            v = self._add_cf(win[i], win[i + 1], g)
+            if v is not None:
+                return v
+        if s == self.k and recheck:
+            # re-check after the read's past grew: the shared watermarks
+            # may have been advanced past this read's range by later
+            # reads, so enumerate its full visible range (the edge-set
+            # dedup makes repeats free); watermark state is untouched
+            w1 = win[0]
+            nn = self.n
+            vc = self._vc
+            base = g * nn
+            w1b = self._u_g[w1] * nn
+            members = set(win)
+            for q in range(nn):
+                wl = self._wl.get((key, q))
+                if wl is None:
+                    continue
+                i = bisect.bisect_left(wl[0], vc[w1b + q])
+                j = bisect.bisect_left(wl[0], vc[base + q])
+                for idx in range(i, j):
+                    u = wl[1][idx]
+                    if u in members:
+                        continue
+                    v = self._add_cf(u, w1, g)
+                    if v is not None:
+                        return v
+            return None
+        if s == self.k:
+            # every visible non-member must be arbitrated before the
+            # oldest member.  Each write is enumerated O(1) times per
+            # reader process: a watermark skips candidates already
+            # ordered below an earlier oldest-member (transitively below
+            # the current one through that read's dominance/chain
+            # edges), and the previous window rides along one extra read
+            # so members leaving the window still get their edge.
+            w1 = win[0]
+            nn = self.n
+            vc = self._vc
+            base = g * nn
+            pid = self._g_pid[g]
+            wm = self._cf_wm.get((pid, key))
+            if wm is None:
+                wm = [array("i", [0] * nn), ()]
+                self._cf_wm[(pid, key)] = wm
+            marks = wm[0]
+            members = set(win)
+            candidates: List[int] = []
+            for q in range(nn):
+                wl = self._wl.get((key, q))
+                if wl is None:
+                    continue
+                hi = vc[base + q]
+                i = bisect.bisect_left(wl[0], marks[q])
+                j = bisect.bisect_left(wl[0], hi)
+                candidates.extend(wl[1][i:j])
+                if hi > marks[q]:
+                    marks[q] = hi
+            for u in wm[1]:
+                if u not in members:
+                    candidates.append(u)
+            wm[1] = tuple(win)
+            for u in candidates:
+                if u in members:
+                    continue
+                v = self._add_cf(u, w1, g)
+                if v is not None:
+                    return v
+        return None
+
+    def _add_cf(
+        self, a: int, b: int, g: int
+    ) -> Optional[MonitorViolation]:
+        """Require arbitration ``a < b``; detect a cycle with co∪cf."""
+        if a == b or (a, b) in self._cf_seen:
+            return None
+        if self._covers(self._u_g[b], a):
+            return None  # implied by co
+        self._cf_seen.add((a, b))
+        self.patterns_checked += 1
+        if self.cf_edges >= self.cf_budget:
+            self._mark_inconclusive("CCV", "conflict-edge budget exceeded")
+            return None
+        if self._reaches(b, a, self._cf_out, self._cf_src):
+            return self._record(
+                "CyclicCF",
+                g,
+                (self._u_g[a], self._u_g[b], g),
+                f"no total arbitration order: writes "
+                f"{self._u_val[a]!r} and {self._u_val[b]!r} are "
+                f"constrained in both directions",
+                criteria=("CCV",),
+            )
+        self.cf_edges += 1
+        self._cf_out.setdefault(a, []).append(b)
+        ag = self._u_g[a]
+        bisect.insort(self._cf_src[self._g_pid[ag]], (self._g_lidx[ag], a))
+        return None
+
+    def _reaches(
+        self,
+        src: int,
+        dst: int,
+        out: Dict[int, List[int]],
+        src_by_pid: List[List[Tuple[int, int]]],
+    ) -> bool:
+        """Is there a co∪edges path from write ``src`` to write ``dst``?"""
+        if src == dst or self._covers(self._u_g[dst], src):
+            return True
+        visited = {src}
+        stack = [src]
+        nn = self.n
+        while stack:
+            a = stack.pop()
+            ag = self._u_g[a]
+            ap = self._g_pid[ag]
+            for p in range(nn):
+                srcs = src_by_pid[p]
+                if not srcs:
+                    continue
+                first = (
+                    self._g_lidx[ag] if p == ap else self._fvc[a * nn + p]
+                )
+                i = bisect.bisect_left(srcs, (first, -1))
+                for idx in range(i, len(srcs)):
+                    e = srcs[idx][1]
+                    for b in out.get(e, ()):
+                        if b in visited:
+                            continue
+                        if b == dst or self._covers(self._u_g[dst], b):
+                            return True
+                        visited.add(b)
+                        stack.append(b)
+        return False
+
+    # ------------------------------------------------------------------
+    # CC: per-process happens-before constraints
+    # ------------------------------------------------------------------
+    def _hb_constraints(
+        self,
+        g: int,
+        key: int,
+        slots: Tuple[Any, ...],
+        win: Sequence[int],
+        s: int,
+        rec: Optional[List[Any]] = None,
+    ) -> Optional[MonitorViolation]:
+        q = self._g_pid[g]
+        if rec is None:
+            rec = [g, key, tuple(win), s, None]
+            self._q_reads[q].append(rec)
+            self._hbrec_of[g] = rec
+        else:
+            rec[4] = None  # the cached hb-past is stale: recompute
+        worklist = [rec]
+        seen_ids = {id(rec)}
+        while worklist:
+            self.cc_rechecks += 1
+            if self.cc_rechecks > self.cc_budget:
+                self._mark_inconclusive("CC", "happens-before budget exceeded")
+                return None
+            cur = worklist.pop()
+            seen_ids.discard(id(cur))
+            v, new_edge = self._hb_check_read(q, cur)
+            if v is not None:
+                return v
+            if new_edge:
+                # a grown D_q can grow the hb-past of any read of q that
+                # already covers the edge's target
+                for other in self._q_reads[q]:
+                    if id(other) in seen_ids:
+                        continue
+                    cov = other[4]
+                    for a, b in new_edge:
+                        bg = self._u_g[b]
+                        bp = self._g_pid[bg]
+                        covered = (
+                            cov is None and self._covers(other[0], b)
+                        ) or (cov is not None and self._g_lidx[bg] < cov[bp])
+                        if covered:
+                            worklist.append(other)
+                            seen_ids.add(id(other))
+                            break
+        return None
+
+    def _hb_cov(self, q: int, g: int) -> List[int]:
+        """The hb_q-past of read ``g`` as per-process counts: the co-past
+        grown by the closure of the recorded D_q edges."""
+        nn = self.n
+        vc = self._vc
+        cov = list(vc[g * nn : g * nn + nn])
+        edges = self._d_edges[q]
+        if not edges:
+            return cov
+        changed = True
+        while changed:
+            changed = False
+            for a, b in edges:
+                bg = self._u_g[b]
+                if self._g_lidx[bg] >= cov[self._g_pid[bg]]:
+                    continue  # b not in the hb-past
+                ag = self._u_g[a]
+                if self._g_lidx[ag] < cov[self._g_pid[ag]]:
+                    continue  # a already in
+                ab = ag * nn
+                for p in range(nn):
+                    c = vc[ab + p]
+                    if c > cov[p]:
+                        cov[p] = c
+                changed = True
+        return cov
+
+    def _hb_check_read(
+        self, q: int, rec: List[Any]
+    ) -> Tuple[Optional[MonitorViolation], List[Tuple[int, int]]]:
+        g, key, win, s, _ = rec
+        nn = self.n
+        cov = self._hb_cov(q, g)
+        rec[4] = cov
+        new_edges: List[Tuple[int, int]] = []
+        # window members in slot order
+        for i in range(s - 1):
+            v, added = self._add_d(q, win[i], win[i + 1], g)
+            if v is not None:
+                return v, new_edges
+            if added:
+                new_edges.append((win[i], win[i + 1]))
+        total = 0
+        for p in range(nn):
+            wl = self._wl.get((key, p))
+            if wl is not None:
+                total += bisect.bisect_left(wl[0], cov[p])
+        self.patterns_checked += 1
+        if s < self.k:
+            if total > s:
+                extra = self._hb_find_extra(key, cov, win)
+                witness = (
+                    (self._u_g[extra], g) if extra is not None else (g,)
+                )
+                return (
+                    self._record(
+                        "WriteHBInitRead",
+                        g,
+                        witness,
+                        f"window of stream {key} shows initial slots but "
+                        f"{total} writes are in the happens-before past "
+                        f"of process {q}",
+                        criteria=("CC",),
+                    ),
+                    new_edges,
+                )
+            return None, new_edges
+        # full window: every hb-visible non-member must precede the
+        # oldest member in the process's linearisation
+        w1 = win[0]
+        w1b = self._u_g[w1] * nn
+        members = set(win)
+        vc = self._vc
+        for p in range(nn):
+            wl = self._wl.get((key, p))
+            if wl is None:
+                continue
+            hi = cov[p]
+            # writes co-before w1 are ordered already; skip them wholesale
+            i = bisect.bisect_left(wl[0], vc[w1b + p])
+            j = bisect.bisect_left(wl[0], hi)
+            for idx in range(i, j):
+                u = wl[1][idx]
+                if u in members:
+                    continue
+                if self._covers(self._u_g[w1], u):
+                    continue  # co-before w1: already ordered
+                if self._hb_reaches(q, u, w1):
+                    continue  # hb-before w1: already ordered
+                v, added = self._add_d(q, u, w1, g)
+                if v is not None:
+                    return v, new_edges
+                if added:
+                    new_edges.append((u, w1))
+        return None, new_edges
+
+    def _hb_find_extra(
+        self, key: int, cov: List[int], win: Sequence[int]
+    ) -> Optional[int]:
+        members = set(win)
+        for p in range(self.n):
+            wl = self._wl.get((key, p))
+            if wl is None:
+                continue
+            for idx in range(bisect.bisect_left(wl[0], cov[p])):
+                if wl[1][idx] not in members:
+                    return wl[1][idx]
+        return None
+
+    def _hb_reaches(self, q: int, src: int, dst: int) -> bool:
+        return self._reaches(src, dst, self._d_out[q], self._d_src[q])
+
+    def _add_d(
+        self, q: int, a: int, b: int, g: int
+    ) -> Tuple[Optional[MonitorViolation], bool]:
+        if a == b or (a, b) in self._d_seen[q]:
+            return None, False
+        if self._covers(self._u_g[b], a):
+            return None, False
+        self._d_seen[q].add((a, b))
+        self.patterns_checked += 1
+        if self.d_edges >= self.cc_budget:
+            self._mark_inconclusive("CC", "happens-before edge budget exceeded")
+            return None, False
+        if self._hb_reaches(q, b, a):
+            return (
+                self._record(
+                    "CyclicHB",
+                    g,
+                    (self._u_g[a], self._u_g[b], g),
+                    f"no linearisation for process {q}: writes "
+                    f"{self._u_val[a]!r} and {self._u_val[b]!r} are "
+                    f"required in both orders",
+                    criteria=("CC",),
+                ),
+                False,
+            )
+        self.d_edges += 1
+        self._d_edges[q].append((a, b))
+        self._d_out[q].setdefault(a, []).append(b)
+        ag = self._u_g[a]
+        bisect.insort(
+            self._d_src[q][self._g_pid[ag]], (self._g_lidx[ag], a)
+        )
+        return None, True
+
+    # ------------------------------------------------------------------
+    # verdict state
+    # ------------------------------------------------------------------
+    def _pattern_criteria(self, pattern: str) -> Tuple[str, ...]:
+        if pattern in _CF_PATTERNS:
+            return ("CCV",)
+        if pattern in _HB_PATTERNS:
+            return ("CC",)
+        return ("WCC", "CC", "CCV")
+
+    def _record(
+        self,
+        pattern: str,
+        g: int,
+        witness_gs: Iterable[int],
+        detail: str,
+        criteria: Optional[Tuple[str, ...]] = None,
+    ) -> MonitorViolation:
+        witness = tuple(
+            (self._g_pid[w], self._g_lidx[w]) for w in witness_gs
+        )
+        violation = MonitorViolation(
+            pattern=pattern,
+            criteria=criteria or self._pattern_criteria(pattern),
+            index=self.ops_seen - 1,
+            witness=witness,
+            detail=detail,
+        )
+        for criterion in violation.criteria:
+            if criterion in self.criteria:
+                self._violations.setdefault(criterion, violation)
+        return violation
+
+    def _decided(self) -> bool:
+        if self._nondiff is not None:
+            return True  # every verdict will be inconclusive
+        return all(
+            c in self._violations or c in self._inconclusive
+            for c in self.criteria
+        )
+
+    def _mark_inconclusive(self, criterion: str, reason: str) -> None:
+        if criterion in self.criteria:
+            self._inconclusive.setdefault(criterion, reason)
+
+    def _mark_all_inconclusive(self, reason: str) -> None:
+        for criterion in self.criteria:
+            self._inconclusive.setdefault(criterion, reason)
+
+    def _mark_nondiff(self, reason: str) -> None:
+        if self._nondiff is None:
+            self._nondiff = reason
+
+    def _mark_unsupported(self, reason: str) -> None:
+        self._mark_all_inconclusive(reason)
+
+    # ------------------------------------------------------------------
+    # finalisation
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        first = min(
+            (v.index for v in self._violations.values()), default=None
+        )
+        return {
+            "ops_seen": self.ops_seen,
+            "reads_checked": self.reads_checked,
+            "writes_seen": self.writes_seen,
+            "rf_edges": self.rf_edges,
+            "cf_edges": self.cf_edges,
+            "d_edges": self.d_edges,
+            "hb_edges": self.rf_edges + self.cf_edges + self.d_edges,
+            "patterns_checked": self.patterns_checked,
+            "propagate_steps": self.propagate_steps,
+            "cc_rechecks": self.cc_rechecks,
+            "pending_peak": self.pending_peak,
+            "first_violation_index": first,
+        }
+
+    def finalize(self) -> Dict[str, MonitorVerdict]:
+        """Close the stream and return the per-criterion verdicts."""
+        if self._regrow or self._co_grew:
+            self._drain_regrow()
+        if self._parked and self._nondiff is None:
+            rg = min(self._parked)
+            key, slots, _ = self._parked[rg]
+            present = {v for v in slots if (key, v) in self._writer}
+            value = next((v for v in slots if v not in present), slots[0])
+            self._record(
+                "ThinAirRead",
+                rg,
+                (rg,),
+                f"read of stream {key} returns {value!r}, which no "
+                f"operation wrote",
+            )
+        stats = self.stats()
+        verdicts: Dict[str, MonitorVerdict] = {}
+        for criterion in self.criteria:
+            if self._nondiff is not None:
+                verdicts[criterion] = MonitorVerdict(
+                    criterion,
+                    None,
+                    reason=f"non-differentiated history: {self._nondiff}",
+                    stats=stats,
+                )
+            elif criterion in self._violations:
+                violation = self._violations[criterion]
+                verdicts[criterion] = MonitorVerdict(
+                    criterion,
+                    False,
+                    violation=violation,
+                    reason=f"bad pattern {violation.pattern}: "
+                    f"{violation.detail}",
+                    stats=stats,
+                )
+            elif criterion in self._inconclusive:
+                verdicts[criterion] = MonitorVerdict(
+                    criterion,
+                    None,
+                    reason=self._inconclusive[criterion],
+                    stats=stats,
+                )
+            else:
+                verdicts[criterion] = MonitorVerdict(
+                    criterion, True, reason="no bad pattern", stats=stats
+                )
+        return verdicts
+
+
+# ----------------------------------------------------------------------
+# ADT adaptation and history replay
+# ----------------------------------------------------------------------
+def _adt_shape(adt: Any) -> Optional[Tuple[int, int, Any]]:
+    """(streams, k, default) for window-like ADTs, None otherwise."""
+    name = type(adt).__name__
+    if name == "WindowStreamArray":
+        return adt.streams, adt.k, adt.default
+    if name == "WindowStream":
+        return 1, adt.k, adt.default
+    if name == "MemoryADT":
+        return adt.registers, 1, adt.default
+    if name == "Register":
+        return 1, 1, adt.default
+    return None
+
+
+def monitor_for_adt(
+    adt: Any,
+    n: int,
+    *,
+    criteria: Sequence[str] = SUPPORTED_CRITERIA,
+    **kwargs: Any,
+) -> Optional[StreamingMonitor]:
+    """A monitor configured for ``adt``, or None if out of scope (the
+    bad-pattern catalogue covers read/write window streams, registers
+    and register arrays — not queues, counters or sets)."""
+    shape = _adt_shape(adt)
+    if shape is None:
+        return None
+    streams, k, default = shape
+    return StreamingMonitor(
+        n, streams=streams, k=k, default=default, criteria=criteria, **kwargs
+    )
+
+
+def replay_history(
+    history: History,
+    adt: Any,
+    *,
+    criteria: Sequence[str] = SUPPORTED_CRITERIA,
+    **kwargs: Any,
+) -> Dict[str, MonitorVerdict]:
+    """Run the monitor over a finished history.
+
+    Events are fed in recorded-time order when the history carries
+    timestamps (exercising the true streaming path) and in program order
+    otherwise; the verdict is feed-order independent.  Histories whose
+    program order is not a union of per-process chains, non-window ADTs
+    and non-differentiated histories yield inconclusive verdicts.
+    """
+    shape = _adt_shape(adt)
+    stats = {"ops_seen": len(history)}
+    if shape is None:
+        return {
+            c: MonitorVerdict(
+                c,
+                None,
+                reason=f"unsupported ADT {getattr(adt, 'name', type(adt).__name__)}",
+                stats=stats,
+            )
+            for c in criteria
+        }
+    chains = history.processes()
+    chain_of: Dict[int, Tuple[int, int]] = {}
+    chainlike = sum(len(chain) for chain in chains) == len(history)
+    for p, chain in enumerate(chains):
+        expected = 0
+        for i, eid in enumerate(chain):
+            chain_of[eid] = (p, i)
+            if history.past_mask(eid) != expected:
+                chainlike = False
+            expected |= 1 << eid
+    if not chainlike or len(chain_of) != len(history):
+        return {
+            c: MonitorVerdict(
+                c,
+                None,
+                reason="program order is not a union of process chains",
+                stats=stats,
+            )
+            for c in criteria
+        }
+    streams, k, default = shape
+    monitor = StreamingMonitor(
+        max(1, len(chains)),
+        streams=streams,
+        k=k,
+        default=default,
+        criteria=criteria,
+        **kwargs,
+    )
+    order = list(range(len(history)))
+    if history.times is not None:
+        times = history.times
+        order.sort(key=lambda eid: (times[eid], eid))
+    for eid in order:
+        event = history.events[eid]
+        pid = chain_of[eid][0]
+        monitor.feed(pid, event.invocation, event.output)
+    return monitor.finalize()

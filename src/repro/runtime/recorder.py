@@ -14,7 +14,7 @@ EC/UC checkers use as the stable set.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..core.history import History
 from ..core.operations import HIDDEN, Invocation, Operation
@@ -41,6 +41,18 @@ class HistoryRecorder:
         self.n = n
         self.rows: List[List[OpRecord]] = [[] for _ in range(n)]
         self._quiescent = False
+        self._subscribers: List[Callable[[OpRecord], None]] = []
+
+    def subscribe(self, callback: Callable[[OpRecord], None]) -> None:
+        """Stream every future record to ``callback``, zero-copy: the
+        callback receives the recorder's own :class:`OpRecord` the moment
+        it is appended (streaming monitors attach here).  Subscribers
+        must not mutate the record; the recorded history is identical
+        with and without subscribers."""
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[OpRecord], None]) -> None:
+        self._subscribers.remove(callback)
 
     def mark_quiescent(self) -> None:
         """All records added from now on are tagged stable (post-quiescence)."""
@@ -56,6 +68,8 @@ class HistoryRecorder:
     ) -> OpRecord:
         rec = OpRecord(pid, invocation, output, start, end, stable=self._quiescent)
         self.rows[pid].append(rec)
+        for callback in self._subscribers:
+            callback(rec)
         return rec
 
     # ------------------------------------------------------------------

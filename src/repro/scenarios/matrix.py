@@ -33,6 +33,7 @@ from ..algorithms import (
     ScSequencer,
 )
 from ..criteria import SearchBudgetExceeded, check
+from ..criteria.streaming_monitor import monitor_for_adt
 from ..util.tables import render_table
 from .registry import get_scenario, scenario_names
 from .scenario import RunResult, Scenario
@@ -156,6 +157,13 @@ class MatrixCell:
     wall_seconds: float
     note: str = ""
     monitor_violations: int = 0
+    #: structured (kind, detail) failure records — the shape shared with
+    #: chaos trial outcomes and the streaming monitor's
+    #: :meth:`MonitorViolation.as_failure`; empty on clean cells
+    failures: List[Tuple[str, Any]] = field(default_factory=list)
+    #: streaming-monitor verdicts + stats when explore ran with
+    #: ``--monitor`` (None otherwise): ``{"criteria": {...}, "stats": {...}}``
+    streaming: Optional[Dict[str, Any]] = None
 
     @property
     def failure(self) -> bool:
@@ -163,26 +171,48 @@ class MatrixCell:
 
 
 def run_scenario_cell(
-    scenario_name: str, algorithm: str, seed: int, fast_ops: int = 0
+    scenario_name: str,
+    algorithm: str,
+    seed: int,
+    fast_ops: int = 0,
+    subscriber: Any = None,
 ) -> RunResult:
     """Run one (scenario, algorithm, seed) cell and return its result.
 
     The shared cell-assembly recipe — spec lookup (optionally shrunk),
     registry entry, algorithm kwargs, gossip post-setup — used by the
-    matrix worker and by the litmus scenario-history generator."""
+    matrix worker and by the litmus scenario-history generator.
+    ``subscriber`` is streamed every :class:`OpRecord` live (the
+    streaming monitor attaches here)."""
     spec = get_scenario(scenario_name)
     if fast_ops:
         spec = spec.fast(fast_ops)
     entry = ALGORITHMS[algorithm]
     return Scenario(spec).run(
         entry.cls, seed=seed, post_setup=build_post_setup(entry, spec),
+        subscriber=subscriber,
         **_build_kwargs(entry, spec),
     )
 
 
-def _run_cell(job: Tuple[str, str, int, int]) -> MatrixCell:
-    """Worker entry point: run one cell (picklable in, picklable out)."""
-    scenario_name, algo_key, seed, fast_ops = job
+def _monitor_criteria(entry: AlgorithmEntry) -> Tuple[str, ...]:
+    """What the streaming monitor checks on this cell: the advertised
+    criterion when it is one the monitor supports, plus WCC (free —
+    decided by the same co-level patterns).  Cells advertising anything
+    else get an *informational* CCv verdict (never folded into the cell
+    verdict): SC implies CCv, convergent algorithms aim at it, and PRAM
+    legitimately fails it."""
+    if entry.criterion == "CC":
+        return ("WCC", "CC")
+    return ("WCC", "CCV")
+
+
+def _run_cell(job: Tuple[Any, ...]) -> MatrixCell:
+    """Worker entry point: run one cell (picklable in, picklable out).
+
+    ``job`` is ``(scenario, algorithm, seed, fast_ops[, monitor])``."""
+    scenario_name, algo_key, seed, fast_ops = job[:4]
+    with_monitor = bool(job[4]) if len(job) > 4 else False
     spec = get_scenario(scenario_name)
     if fast_ops:
         spec = spec.fast(fast_ops)
@@ -190,11 +220,27 @@ def _run_cell(job: Tuple[str, str, int, int]) -> MatrixCell:
     scenario = Scenario(spec)
     t0 = time.perf_counter()
 
-    result = run_scenario_cell(scenario_name, algo_key, seed, fast_ops)
+    streaming_monitor = None
+    subscriber = None
+    if with_monitor:
+        streaming_monitor = monitor_for_adt(
+            scenario.adt(), spec.n, criteria=_monitor_criteria(entry)
+        )
+        if streaming_monitor is not None:
+            subscriber = streaming_monitor.subscriber()
+
+    result = run_scenario_cell(
+        scenario_name, algo_key, seed, fast_ops, subscriber=subscriber
+    )
 
     note = ""
+    failures: List[Tuple[str, Any]] = []
     if entry.criterion == "CONV":
         ok: Optional[bool] = _replicas_converged(result.algorithm, spec)
+        if ok is False:
+            failures.append(
+                ("divergence", "live replicas disagree at quiescence")
+            )
     else:
         kwargs = (
             {"max_nodes": CHECK_BUDGET}
@@ -206,6 +252,53 @@ def _run_cell(job: Tuple[str, str, int, int]) -> MatrixCell:
         except SearchBudgetExceeded:
             ok = None
             note = "search budget exceeded"
+        if ok is False:
+            failures.append(
+                ("criterion", f"{entry.criterion} conclusively violated")
+            )
+
+    # streaming monitor (PR 7): cross-validates the search verdict on
+    # the advertised criterion, and *decides* cells the search cannot
+    # touch (scale-tier histories); on CONV cells it is informational
+    streaming: Optional[Dict[str, Any]] = None
+    if streaming_monitor is not None:
+        verdicts = streaming_monitor.finalize()
+        streaming = {
+            "criteria": {
+                crit: {
+                    "ok": v.ok,
+                    "reason": v.reason,
+                    "pattern": v.violation.pattern if v.violation else None,
+                }
+                for crit, v in verdicts.items()
+            },
+            "stats": streaming_monitor.stats(),
+        }
+        mv = verdicts.get(entry.criterion)
+        if mv is not None and mv.ok is not None:
+            if mv.ok is False and mv.violation is not None:
+                failures.append(mv.violation.as_failure())
+            if ok is None:
+                ok = mv.ok
+                note = (note + "; " if note else "") + (
+                    "decided by streaming monitor"
+                )
+            elif bool(ok) != mv.ok:
+                failures.append(
+                    (
+                        "monitor-disagreement",
+                        {
+                            "criterion": entry.criterion,
+                            "search": bool(ok),
+                            "monitor": mv.ok,
+                            "reason": mv.reason,
+                        },
+                    )
+                )
+                ok = False
+                note = (note + "; " if note else "") + (
+                    f"monitor/search disagreement on {entry.criterion}"
+                )
 
     # runtime invariant monitors (PR 6): a violation is a correctness
     # failure regardless of what the history checker concluded
@@ -214,6 +307,8 @@ def _run_cell(job: Tuple[str, str, int, int]) -> MatrixCell:
         monitor_violations = len(result.monitor.violations)
         ok = False
         note = (note + "; " if note else "") + result.monitor.summary()
+        for violation in result.monitor.violations:
+            failures.append((violation.kind, str(violation)))
 
     # crash-storm embeds its own recovery (every stormed process rejoins)
     has_recovery = any(
@@ -248,6 +343,8 @@ def _run_cell(job: Tuple[str, str, int, int]) -> MatrixCell:
         wall_seconds=time.perf_counter() - t0,
         note=note,
         monitor_violations=monitor_violations,
+        failures=failures,
+        streaming=streaming,
     )
 
 
@@ -341,6 +438,7 @@ def run_matrix(
     jobs: Optional[int] = None,
     fast: bool = False,
     pool: Optional[MatrixPool] = None,
+    monitor: bool = False,
 ) -> MatrixReport:
     """Run the scenario × algorithm × seed sweep, in parallel.
 
@@ -348,7 +446,13 @@ def run_matrix(
     this process (deterministic debugging, no fork).  Pass ``pool`` (see
     :class:`MatrixPool`) to reuse one worker pool across several sweeps;
     ``jobs`` is then ignored.  Cells come back in the fixed (scenario,
-    algorithm, seed) generation order in every mode."""
+    algorithm, seed) generation order in every mode.
+
+    ``monitor`` attaches the streaming bad-pattern monitor to every cell
+    (live, via the recorder subscription): its verdicts and stats land
+    in :attr:`MatrixCell.streaming`, disagreements with the enumeration
+    search fail the cell, and cells the search left inconclusive are
+    decided by the monitor."""
     scenario_keys = list(scenarios) if scenarios else scenario_names()
     algo_keys = list(algorithms) if algorithms else algorithm_names()
     for name in scenario_keys:
@@ -360,7 +464,7 @@ def run_matrix(
 
     fast_ops = FAST_OPS if fast else 0
     cells_in = [
-        (scenario, algo, seed, fast_ops)
+        (scenario, algo, seed, fast_ops, monitor)
         for scenario in scenario_keys
         for algo in algo_keys
         for seed in range(seeds)
@@ -392,42 +496,67 @@ def _verdict(cells: List[MatrixCell]) -> str:
     return f"FAIL {passed}/{total}"
 
 
+def _monitor_summary(cells: List[MatrixCell]) -> str:
+    """Per-criterion streaming-monitor verdicts, seeds aggregated."""
+    verdicts: Dict[str, List[Optional[bool]]] = {}
+    for cell in cells:
+        if not cell.streaming:
+            continue
+        for criterion, verdict in cell.streaming["criteria"].items():
+            verdicts.setdefault(criterion, []).append(verdict["ok"])
+    if not verdicts:
+        return "-"
+    parts = []
+    for criterion, oks in sorted(verdicts.items()):
+        if any(ok is False for ok in oks):
+            tag = "no"
+        elif any(ok is None for ok in oks):
+            tag = "?"
+        else:
+            tag = "ok"
+        parts.append(f"{criterion}={tag}")
+    return " ".join(parts)
+
+
 def format_matrix_report(report: MatrixReport) -> str:
     """One row per (scenario, algorithm), seeds aggregated."""
     groups: Dict[Tuple[str, str], List[MatrixCell]] = {}
     for cell in report.cells:
         groups.setdefault((cell.scenario, cell.algorithm), []).append(cell)
+    monitored = any(cell.streaming for cell in report.cells)
     rows = []
     for (scenario, algorithm), cells in groups.items():
         blocked = sum(c.blocked for c in cells)
         latency = sum(c.mean_latency for c in cells) / len(cells)
         messages = sum(c.messages_per_op for c in cells) / len(cells)
         wall = sum(c.wall_seconds for c in cells)
-        rows.append(
+        row = [
+            scenario,
+            algorithm,
+            cells[0].criterion,
+            _verdict(cells),
+        ]
+        if monitored:
+            row.append(_monitor_summary(cells))
+        row.extend(
             [
-                scenario,
-                algorithm,
-                cells[0].criterion,
-                _verdict(cells),
                 "yes" if blocked == 0 else f"no ({blocked} blocked)",
                 f"{latency:.2f}",
                 f"{messages:.1f}",
                 f"{wall:.2f}s",
             ]
         )
-    table = render_table(
-        [
-            "scenario",
-            "algorithm",
-            "criterion",
-            "verdict",
-            "available",
-            "latency",
-            "msg/op",
-            "wall",
-        ],
-        rows,
-    )
+        rows.append(row)
+    header = [
+        "scenario",
+        "algorithm",
+        "criterion",
+        "verdict",
+    ]
+    if monitored:
+        header.append("monitor")
+    header.extend(["available", "latency", "msg/op", "wall"])
+    table = render_table(header, rows)
     lines = [table, ""]
     lines.append(
         f"cells: {len(report.cells)}, failures: {len(report.failures)}, "

@@ -101,6 +101,7 @@ class Scenario:
         post_setup: Optional[Callable[[Any], None]] = None,
         max_events: int = 5_000_000,
         monitors: bool = True,
+        subscriber: Optional[Callable[[Any], None]] = None,
         **algorithm_kwargs: Any,
     ) -> RunResult:
         """Execute the scenario and return the observed history + stats.
@@ -114,6 +115,11 @@ class Scenario:
         a pure observer, so the recorded history is bit-identical either
         way and the result's :attr:`RunResult.monitor` carries any
         invariant violations it caught.
+
+        ``subscriber`` is streamed every :class:`OpRecord` as it is
+        recorded (see :meth:`HistoryRecorder.subscribe`) — this is how a
+        :class:`repro.criteria.streaming_monitor.StreamingMonitor`
+        watches the run live instead of replaying the finished history.
         """
         spec = self.spec
         # the spec owns the object dimensions: explicitly passed window
@@ -144,6 +150,8 @@ class Scenario:
             sim, spec.n, delay=delay_model, loss_rate=spec.loss_rate,
         )
         recorder = HistoryRecorder(spec.n)
+        if subscriber is not None:
+            recorder.subscribe(subscriber)
         algorithm = algorithm_cls(sim, network, recorder, **algorithm_kwargs)
         if post_setup is not None:
             post_setup(algorithm)

@@ -55,11 +55,19 @@ def make_script(
     rng: random.Random, spec: WorkloadSpec, streams: int, pid: int
 ) -> List[Invocation]:
     """The scripted invocation sequence of one client (content only)."""
+    # per-process value namespaces keep the recorded history
+    # differentiated (no value written twice), which the bad-pattern
+    # checkers require: the stride must exceed ops_per_process.  Long
+    # workloads (the 10k-op scale tiers) used to overflow the historic
+    # 1_000 stride and silently collide across processes; the stride
+    # only widens for them so that every ≤1000-op history stays
+    # bit-identical to the committed golden fingerprints.
+    stride = 1_000 if spec.ops_per_process <= 1_000 else 1_000_000
     script: List[Invocation] = []
     for i in range(spec.ops_per_process):
         x = pick_stream(rng, spec, streams)
         if rng.random() < spec.write_ratio:
-            script.append(Invocation("w", (x, pid * 1_000 + i + 1)))
+            script.append(Invocation("w", (x, pid * stride + i + 1)))
         else:
             script.append(Invocation("r", (x,)))
     return script

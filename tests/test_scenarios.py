@@ -313,7 +313,8 @@ class TestScenarioHistorySource:
             if event.invocation.method == "r"
             for value in event.output
         }
-        # values are pid*1000 + i: reads expose writes from >1 process
+        # values are pid*1_000 + i for short scripts: reads expose
+        # writes from more than one process namespace
         assert len({v // 1_000 for v in seen_values if v}) > 1
 
     def test_hierarchy_population_accepts_scenario_histories(self):
