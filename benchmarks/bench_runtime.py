@@ -24,6 +24,20 @@ move.  ``--scale`` adds the registry's 10k-op scale-up scenarios
 (``scale-n8-hotkey``, ``scale-n12-hotkey``) — sized for the indexed
 runtime; the pre-PR 5 runtime is not expected to finish them in
 reasonable time, so they are kept out of the default sweep.
+
+``--fanout`` is a *standalone* A/B mode (it replaces the sweep): the
+eager flood (``ccv-fig5``) against the push/lazy-push transport
+(``ccv-lazy``) on the same dense hot-key workload at n ∈ {8, 16, 32, 64}
+(``--smoke``: {8, 32}), recording messages/broadcast, messages/op,
+bytes/op and ops/s per family plus the per-n reduction factors.  Each
+pair is checked for identical per-replica delivered-id sets, within-run
+convergence and clean runtime monitors; ``--min-reduction`` (default 4)
+gates the message reduction at every n ≥ 32, and ``--baseline`` compares
+against a committed fanout report (message counts and delivered digests
+are deterministic, so any drift is exit 1 — the CI ``fanout-smoke``
+guard).  ``--only SUBSTR`` narrows either mode to cells whose name
+contains ``SUBSTR`` (skipping the explore matrix and baseline compare,
+which need the full cell set).
 """
 
 from __future__ import annotations
@@ -295,6 +309,225 @@ def run_scale(seeds: int) -> Dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# --fanout: eager flood vs push/lazy-push A/B (PR 8)
+# ----------------------------------------------------------------------
+FANOUT_SIZES = (8, 16, 32, 64)
+FANOUT_SIZES_SMOKE = (8, 32)
+FANOUT_EAGER = "ccv-fig5"
+FANOUT_LAZY = "ccv-lazy"
+#: total operations per fanout cell, split across the n replicas — kept
+#: constant across sizes so the broadcast count (and thus the per-
+#: broadcast message ratio) is comparable between rows
+FANOUT_OPS_TOTAL = 1280
+
+
+def _fanout_spec(n: int) -> ScenarioSpec:
+    # dense arrivals (rate 8): advertisement batches fill before the
+    # flush timer fires, which is the traffic regime the lazy transport
+    # is built for (sparse traffic degrades toward one adv per id)
+    return ScenarioSpec(
+        name=f"fanout-n{n}", n=n, streams=4,
+        workload=_open(n, max(10, FANOUT_OPS_TOTAL // n), rate=8.0),
+    )
+
+
+def _delivered_sets(service: Any) -> List[frozenset]:
+    """Per-replica set of seen message ids, reassembled from the compact
+    frontier + spill representation."""
+    n = len(service._frontier)
+    sets = []
+    for pid in range(n):
+        mids = {
+            (origin, seq)
+            for origin in range(n)
+            for seq in range(service._frontier[pid][origin])
+        }
+        mids.update(service._seen[pid])
+        sets.append(frozenset(mids))
+    return sets
+
+
+def run_fanout_cell(
+    spec: ScenarioSpec, algo_key: str, seed: int, repeats: int = 1
+) -> Dict[str, Any]:
+    entry = ALGORITHMS[algo_key]
+
+    def post_setup(algorithm: Any) -> None:
+        algorithm.broadcast.network.measure_bytes = True
+
+    wall = math.inf
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        result = Scenario(spec).run(
+            entry.cls, seed=seed, max_events=50_000_000,
+            post_setup=post_setup, **_build_kwargs(entry, spec),
+        )
+        wall = min(wall, time.perf_counter() - t0)
+    service = result.algorithm.broadcast
+    stats = result.network_stats
+    broadcasts = sum(service._next_id)
+    delivered = _delivered_sets(service)
+    complete = all(len(mids) == broadcasts for mids in delivered)
+    digest = hashlib.sha256(
+        repr([sorted(mids) for mids in delivered]).encode()
+    ).hexdigest()
+    pending = (
+        sum(service._npending) if hasattr(service, "_npending") else 0
+    )
+    missing = (
+        sum(service.missing_count(pid) for pid in range(spec.n))
+        if hasattr(service, "missing_count")
+        else 0
+    )
+    state = getattr(result.algorithm, "state", None)
+    converged = state is not None and all(row == state[0] for row in state)
+    ops = result.ops
+    return {
+        "name": spec.name,
+        "algorithm": algo_key,
+        "seed": seed,
+        "n": spec.n,
+        "ops": ops,
+        "broadcasts": broadcasts,
+        "messages_sent": stats.sent,
+        "payload_bytes": stats.payload_bytes,
+        "suppressed_relays": stats.suppressed_relays,
+        "pulled": stats.pulled,
+        "msgs_per_broadcast": round(stats.sent / broadcasts, 1)
+        if broadcasts else 0.0,
+        "msgs_per_op": round(stats.sent / ops, 1) if ops else 0.0,
+        "bytes_per_op": round(stats.payload_bytes / ops, 1) if ops else 0.0,
+        "wall": wall,
+        "ops_per_sec": ops / wall if wall else 0.0,
+        "delivered_complete": complete,
+        "delivered_digest": digest,
+        "pending": pending,
+        "missing": missing,
+        "converged": converged,
+        "monitor_violations": [
+            str(v) for v in result.monitor.violations
+        ] if result.monitor is not None else [],
+    }
+
+
+def run_fanout(
+    sizes: List[int], seed: int, repeats: int, min_reduction: float
+) -> Tuple[Dict[str, Any], int]:
+    """The A/B: one eager + one lazy run per n, paired and gated.
+
+    Returns the report fragment and the number of failed gates (delivery
+    or convergence defects, monitor violations, or a message reduction
+    below ``min_reduction`` at n >= 32)."""
+    cells: List[Dict[str, Any]] = []
+    pairs: List[Dict[str, Any]] = []
+    failures = 0
+    for n in sizes:
+        spec = _fanout_spec(n)
+        eager = run_fanout_cell(spec, FANOUT_EAGER, seed, repeats)
+        lazy = run_fanout_cell(spec, FANOUT_LAZY, seed, repeats)
+        for cell in (eager, lazy):
+            cells.append(cell)
+            print(
+                f"{cell['name']:>12s} {cell['algorithm']:>9s} "
+                f"msgs/bcast={cell['msgs_per_broadcast']:>7.1f} "
+                f"msgs/op={cell['msgs_per_op']:>6.1f} "
+                f"bytes/op={cell['bytes_per_op']:>8.1f} "
+                f"ops/s={cell['ops_per_sec']:>8.0f} "
+                f"pulled={cell['pulled']}",
+                file=sys.stderr,
+            )
+        reduction = (
+            eager["msgs_per_broadcast"] / lazy["msgs_per_broadcast"]
+            if lazy["msgs_per_broadcast"]
+            else 0.0
+        )
+        bytes_reduction = (
+            eager["payload_bytes"] / lazy["payload_bytes"]
+            if lazy["payload_bytes"]
+            else 0.0
+        )
+        clean = all(
+            cell["delivered_complete"]
+            and cell["converged"]
+            and not cell["monitor_violations"]
+            and cell["pending"] == 0
+            and cell["missing"] == 0
+            for cell in (eager, lazy)
+        ) and eager["delivered_digest"] == lazy["delivered_digest"]
+        # the headline gate lives at n >= 32 — the tier the lazy family
+        # exists for; smaller n report reduction informationally
+        gated = n >= 32
+        ok = clean and (not gated or reduction >= min_reduction)
+        if not ok:
+            failures += 1
+        pairs.append(
+            {
+                "n": n,
+                "msgs_reduction": round(reduction, 2),
+                "bytes_reduction": round(bytes_reduction, 2),
+                "delivered_equal": eager["delivered_digest"]
+                == lazy["delivered_digest"],
+                "clean": clean,
+                "gated": gated,
+                "ok": ok,
+            }
+        )
+        print(
+            f"{spec.name:>12s} reduction: msgs {reduction:.2f}x, "
+            f"bytes {bytes_reduction:.2f}x, clean={clean}, ok={ok}",
+            file=sys.stderr,
+        )
+    return {"cells": cells, "pairs": pairs}, failures
+
+
+def compare_fanout_baseline(
+    report: Dict[str, Any], baseline: Dict[str, Any]
+) -> int:
+    """Fanout runs are deterministic: message counts, delivered digests
+    and pair verdicts must match the committed baseline exactly."""
+    mismatches = 0
+    base_cells = {
+        (c["name"], c["algorithm"], c["seed"]): c
+        for c in baseline.get("cells", [])
+    }
+    matched = set()
+    for cell in report["cells"]:
+        key = (cell["name"], cell["algorithm"], cell["seed"])
+        base = base_cells.get(key)
+        if base is None:
+            mismatches += 1
+            print(f"FANOUT CELL MISSING FROM BASELINE: {key}", file=sys.stderr)
+            continue
+        matched.add(key)
+        for field_name in (
+            "messages_sent", "broadcasts", "payload_bytes",
+            "delivered_digest",
+        ):
+            if cell[field_name] != base[field_name]:
+                mismatches += 1
+                print(
+                    f"FANOUT DRIFT in {key}: {field_name} "
+                    f"{base[field_name]!r} -> {cell[field_name]!r}",
+                    file=sys.stderr,
+                )
+    for key in base_cells:
+        if key not in matched:
+            mismatches += 1
+            print(f"FANOUT BASELINE CELL NOT RUN: {key}", file=sys.stderr)
+    base_pairs = {p["n"]: p for p in baseline.get("pairs", [])}
+    for pair in report["pairs"]:
+        base = base_pairs.get(pair["n"])
+        if base is not None and pair["ok"] != base["ok"]:
+            mismatches += 1
+            print(
+                f"FANOUT PAIR VERDICT CHANGED at n={pair['n']}: "
+                f"{base['ok']} -> {pair['ok']}",
+                file=sys.stderr,
+            )
+    return mismatches
+
+
+# ----------------------------------------------------------------------
 def _geomean(values: List[float]) -> float:
     vals = [v for v in values if v > 0]
     if not vals:
@@ -393,6 +626,73 @@ def compare_to_baseline(
 
 
 # ----------------------------------------------------------------------
+def main_fanout(args: argparse.Namespace) -> int:
+    """The --fanout entry point: the eager-vs-lazy A/B, gated and
+    optionally compared to a committed baseline (exit 1 on any gate or
+    drift failure, exit 2 on a wall-cap breach)."""
+    t_start = time.perf_counter()
+    sizes = list(FANOUT_SIZES_SMOKE if args.smoke else FANOUT_SIZES)
+    if args.only:
+        sizes = [n for n in sizes if args.only in f"fanout-n{n}"]
+        if not sizes:
+            print(
+                f"--only {args.only!r} matches no fanout cell",
+                file=sys.stderr,
+            )
+            return 1
+    fanout, failures = run_fanout(
+        sizes,
+        seed=0,
+        repeats=1 if args.smoke else args.repeats,
+        min_reduction=args.min_reduction,
+    )
+    report: Dict[str, Any] = {
+        "benchmark": "runtime-fanout",
+        "smoke": args.smoke,
+        "min_reduction": args.min_reduction,
+        "python": platform.python_version(),
+        "cells": fanout["cells"],
+        "pairs": fanout["pairs"],
+        "totals": {
+            "wall": time.perf_counter() - t_start,
+            "gate_failures": failures,
+        },
+    }
+    exit_code = 1 if failures else 0
+    if args.baseline and not args.only:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        mismatches = compare_fanout_baseline(report, baseline)
+        report["baseline_mismatches"] = mismatches
+        if mismatches:
+            exit_code = 1
+    elif args.baseline:
+        print(
+            f"--only {args.only!r}: skipping baseline comparison",
+            file=sys.stderr,
+        )
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(
+        f"fanout total wall {report['totals']['wall']:.1f}s, "
+        f"gate failures {failures}, report -> {args.out}",
+        file=sys.stderr,
+    )
+    if (
+        args.max_seconds is not None
+        and report["totals"]["wall"] > args.max_seconds
+    ):
+        print(
+            f"WALL-TIME REGRESSION: {report['totals']['wall']:.1f}s "
+            f"> {args.max_seconds}s",
+            file=sys.stderr,
+        )
+        exit_code = 2
+    return exit_code
+
+
+# ----------------------------------------------------------------------
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -410,6 +710,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also run the 10k-op scale-up registry scenarios",
     )
     parser.add_argument(
+        "--fanout", action="store_true",
+        help="standalone eager-vs-lazy broadcast A/B (replaces the sweep)",
+    )
+    parser.add_argument(
+        "--min-reduction", type=float, default=4.0,
+        help="fanout gate: required eager/lazy message reduction at "
+        "every n >= 32",
+    )
+    parser.add_argument(
+        "--only", default=None, metavar="SUBSTR",
+        help="run only cells whose name contains SUBSTR (skips the "
+        "explore matrix and the baseline comparison)",
+    )
+    parser.add_argument(
         "--baseline", default=None,
         help="earlier BENCH_runtime.json to compare (exit 1 on any "
         "history-fingerprint or explore-verdict drift)",
@@ -421,9 +735,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--out", default="BENCH_runtime.json")
     args = parser.parse_args(argv)
 
+    if args.fanout:
+        return main_fanout(args)
+
     t_start = time.perf_counter()
     cells: List[Dict[str, Any]] = []
     for spec, algo_key in _sweep(args.smoke):
+        if args.only and args.only not in spec.name:
+            continue
         for seed in range(args.seeds):
             cell = run_cell(
                 spec, algo_key, seed, repeats=1 if args.smoke else args.repeats
@@ -437,20 +756,39 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
 
-    explore = run_explore(args.smoke, seeds=1 if args.smoke else args.seeds)
-    print(
-        f"explore matrix (fast, jobs=1): {explore['cells']} cells in "
-        f"{explore['wall']:.2f}s",
-        file=sys.stderr,
-    )
-    explore_scale = run_scale_explore(args.smoke)
-    print(
-        f"scale explore ({'fast, ' if args.smoke else ''}lww+gossip, "
-        f"jobs=1): {explore_scale['cells']} cells in "
-        f"{explore_scale['wall']:.2f}s, conclusive="
-        f"{explore_scale['conclusive']}, all_ok={explore_scale['all_ok']}",
-        file=sys.stderr,
-    )
+    if args.only and not cells:
+        print(f"--only {args.only!r} matches no sweep cell", file=sys.stderr)
+        return 1
+    if args.only:
+        # a partial sweep cannot be drift-checked: the explore matrix and
+        # the baseline comparison only make sense over the full cell set
+        print(
+            f"--only {args.only!r}: skipping explore matrix and baseline "
+            "comparison",
+            file=sys.stderr,
+        )
+        explore = {"wall": 0.0, "cells": 0, "verdicts": []}
+        explore_scale = {
+            "wall": 0.0, "cells": 0, "verdicts": [],
+            "conclusive": True, "all_ok": True,
+        }
+    else:
+        explore = run_explore(
+            args.smoke, seeds=1 if args.smoke else args.seeds
+        )
+        print(
+            f"explore matrix (fast, jobs=1): {explore['cells']} cells in "
+            f"{explore['wall']:.2f}s",
+            file=sys.stderr,
+        )
+        explore_scale = run_scale_explore(args.smoke)
+        print(
+            f"scale explore ({'fast, ' if args.smoke else ''}lww+gossip, "
+            f"jobs=1): {explore_scale['cells']} cells in "
+            f"{explore_scale['wall']:.2f}s, conclusive="
+            f"{explore_scale['conclusive']}, all_ok={explore_scale['all_ok']}",
+            file=sys.stderr,
+        )
 
     report: Dict[str, Any] = {
         "benchmark": "runtime-throughput",
@@ -497,7 +835,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
 
     exit_code = 0
-    if args.baseline:
+    if args.baseline and not args.only:
         with open(args.baseline) as fh:
             baseline = json.load(fh)
         comparison, mismatches = compare_to_baseline(report, baseline)

@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import Any, List, Optional, Tuple
 
 from ..core.operations import BOTTOM, Invocation
-from ..runtime.broadcast import CausalBroadcast
+from ..runtime.broadcast import CausalBroadcast, LazyCausalBroadcast
 from ..runtime.network import Network
 from ..runtime.recorder import HistoryRecorder
 from ..runtime.simulator import Simulator
@@ -49,6 +49,7 @@ class CCvWindowArray(ReplicatedObject):
         default: Any = 0,
         flood: bool = True,
         paper_literal: bool = False,
+        lazy: bool = False,
     ) -> None:
         super().__init__(sim, network, recorder)
         self.streams = streams
@@ -61,7 +62,11 @@ class CCvWindowArray(ReplicatedObject):
         ]
         # vtime_i: the Lamport clock of each process
         self.vtime: List[int] = [0] * self.n
-        self.broadcast = CausalBroadcast(network, flood=flood)
+        # lazy=True swaps in the push/lazy-push transport (PR 8): the
+        # same causal-delivery layer on ~n·log n messages per broadcast
+        # instead of n(n-1), with different delivery schedules
+        broadcast_cls = LazyCausalBroadcast if lazy else CausalBroadcast
+        self.broadcast = broadcast_cls(network, flood=flood)
         self.endpoints = [
             self.broadcast.endpoint(pid, self._receiver(pid)) for pid in range(self.n)
         ]

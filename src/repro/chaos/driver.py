@@ -29,6 +29,13 @@ be tested end to end:
     so schedules that no resync strategy could survive are not blamed on
     the one-shot.  Repair sweeps are suppressed in this mode — they
     would paper over exactly the stranding being hunted.
+``pull-starve``
+    makes lazy-push holders silently drop pull requests
+    (:attr:`_LazyTransport.pull_starve_bug`), so bodies the push overlay
+    misses under loss/partition strand their receivers — caught as
+    ``pull-stranded`` monitor violations or divergence.  Differential
+    and repair-suppressed like ``oneshot-resync``; only lazy-transport
+    algorithms (e.g. ``ccv-lazy``) exercise the planted bug.
 """
 
 from __future__ import annotations
@@ -40,7 +47,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..criteria import SearchBudgetExceeded, check
-from ..runtime.broadcast import ReliableBroadcast
+from ..runtime.broadcast import ReliableBroadcast, _LazyTransport
 from ..scenarios.matrix import (
     ALGORITHMS,
     CHECK_BUDGET,
@@ -63,7 +70,7 @@ CHAOS_GC_INTERVAL = 16
 _TRIAL_SALT = 1_000_003
 _RUN_SALT = 10_007
 
-INJECTIONS = ("none", "gc-frontier", "oneshot-resync")
+INJECTIONS = ("none", "gc-frontier", "oneshot-resync", "pull-starve")
 
 
 @dataclass
@@ -125,6 +132,10 @@ def _chaos_post_setup(
                 service.gc_frontier_bug = True
             elif inject == "oneshot-resync":
                 service.supervised_resync = False
+            elif inject == "pull-starve" and isinstance(
+                service, _LazyTransport
+            ):
+                service.pull_starve_bug = True
 
     return post_setup
 
@@ -181,9 +192,10 @@ def run_chaos_trial(
 def _spec_for(
     faults: Sequence[FaultEvent], n: int, ops: int, inject: str, name: str
 ) -> ScenarioSpec:
-    # oneshot-resync hunts stranded replicas: repair sweeps would mask
-    # exactly that, so the differential mode runs without them
-    repairs = inject != "oneshot-resync"
+    # oneshot-resync hunts stranded replicas and pull-starve hunts
+    # stranded pulls: repair sweeps would mask exactly that, so the
+    # differential modes run without them
+    repairs = inject not in ("oneshot-resync", "pull-starve")
     return make_spec(name, n, ops, faults, repairs=repairs)
 
 
@@ -198,26 +210,28 @@ def trial_fails(
 ) -> TrialOutcome:
     """The failure predicate shared by the driver loop and ddmin.
 
-    For ``oneshot-resync`` the predicate is differential: the one-shot
-    run must fail while the supervised run of the same schedule is
-    clean."""
+    For ``oneshot-resync`` and ``pull-starve`` the predicate is
+    differential: the injected run must fail while the clean run of the
+    same schedule succeeds."""
     spec = _spec_for(faults, n, ops, inject, "chaos-candidate")
     outcome = run_chaos_trial(
         spec, algo_key, run_seed, inject, check_criterion
     )
-    if inject == "oneshot-resync" and outcome.failed:
+    if inject in ("oneshot-resync", "pull-starve") and outcome.failed:
         control = run_chaos_trial(
             spec, algo_key, run_seed, "none", check_criterion
         )
         if control.failed:
-            return TrialOutcome(result=outcome.result)  # not resync's fault
+            # the clean code fails the same schedule: not the sentinel's
+            # fault, so the differential predicate does not blame it
+            return TrialOutcome(result=outcome.result)
     return outcome
 
 
 def run_chaos(
     seed: int,
     trials: int = 25,
-    algorithms: Sequence[str] = ("lww", "ccv-fig5"),
+    algorithms: Sequence[str] = ("lww", "ccv-fig5", "ccv-lazy"),
     inject: str = "none",
     n: int = 4,
     ops: int = 6,

@@ -37,7 +37,7 @@ import argparse
 import json
 import os
 import sys
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .adts import (
     Counter,
@@ -221,48 +221,74 @@ def cmd_explore(args: argparse.Namespace) -> int:
         run_matrix,
         scenario_names,
     )
-    from .scenarios.matrix import SCALE_ALGORITHMS
+    from .scenarios.matrix import (
+        SCALE_ALGORITHMS,
+        MatrixReport,
+        scale_algorithms_for,
+    )
 
     if args.list:
         for name in scenario_names(include_scale=True, include_chaos=True):
             spec = get_scenario(name)
             print(f"{name:24s} {spec.description}")
         return 0
+    # scale-tier scenario names route to the algorithm-grouped scale
+    # block below (naming one implies --scale for it): running a 10k-op
+    # tier under the default-sweep algorithm set would grind for hours
     if args.all or not args.scenario:
-        scenarios = None  # every registered scenario
+        scenarios: Optional[List[str]] = None  # every default scenario
+        scale_selected: List[str] = []
     else:
-        scenarios = args.scenario
+        scale_selected = [s for s in args.scenario if s in SCALE_SCENARIOS]
+        scenarios = [s for s in args.scenario if s not in SCALE_SCENARIOS]
+    with_scale = args.scale or bool(scale_selected)
+    scale_names = scale_selected or list(SCALE_SCENARIOS)
     # one worker pool serves every sweep of this invocation (the default
     # sweep and, with --scale, the scale-up tier) — sized to the widest
     # sweep so tiny selections don't fork a host-sized pool of idlers
-    n_scen = len(scenarios) if scenarios else len(scenario_names())
+    n_scen = len(scenarios) if scenarios is not None else len(scenario_names())
     n_alg = len(args.algorithm) if args.algorithm else len(algorithm_names())
     widest = n_scen * n_alg * args.seeds
-    if args.scale:
+    if with_scale:
         scale_algs = len(args.algorithm or SCALE_ALGORITHMS)
-        widest = max(widest, len(SCALE_SCENARIOS) * scale_algs * args.seeds)
+        widest = max(widest, len(scale_names) * scale_algs * args.seeds)
     jobs = args.jobs if args.jobs else (os.cpu_count() or 2)
     with MatrixPool(min(jobs, max(1, widest))) as pool:
-        report = run_matrix(
-            scenarios=scenarios,
-            algorithms=args.algorithm or None,
-            seeds=args.seeds,
-            fast=args.fast,
-            pool=pool,
-            monitor=args.monitor,
-        )
-        if args.scale:
-            scale_report = run_matrix(
-                scenarios=list(SCALE_SCENARIOS),
-                # without an explicit selection, only the algorithms whose
-                # criterion stays conclusive at 10k-op histories
-                algorithms=args.algorithm or list(SCALE_ALGORITHMS),
+        if scenarios is not None and not scenarios:
+            report = MatrixReport()  # only scale-tier names were given
+        else:
+            report = run_matrix(
+                scenarios=scenarios,
+                algorithms=args.algorithm or None,
                 seeds=args.seeds,
                 fast=args.fast,
                 pool=pool,
                 monitor=args.monitor,
             )
-            report.cells.extend(scale_report.cells)
+        if with_scale:
+            # the scale tier is algorithm-grouped per scenario: n8/n12
+            # run the conclusive-at-scale eager algorithms, the n32/n64
+            # fan-out tiers default to the lazy-push family (the eager
+            # flood's n(n-1) sends drown the simulation plane there);
+            # an explicit --algorithm selection overrides the grouping
+            groups: Dict[Tuple[str, ...], List[str]] = {}
+            for name in scale_names:
+                algs = (
+                    tuple(args.algorithm)
+                    if args.algorithm
+                    else scale_algorithms_for(name)
+                )
+                groups.setdefault(algs, []).append(name)
+            for algs, names in groups.items():
+                scale_report = run_matrix(
+                    scenarios=names,
+                    algorithms=list(algs),
+                    seeds=args.seeds,
+                    fast=args.fast,
+                    pool=pool,
+                    monitor=args.monitor,
+                )
+                report.cells.extend(scale_report.cells)
     print(format_matrix_report(report))
     if args.json:
         with open(args.json, "w") as fh:
@@ -295,7 +321,9 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     report = run_chaos(
         seed=args.seed,
         trials=args.trials,
-        algorithms=tuple(args.algorithm) if args.algorithm else ("lww", "ccv-fig5"),
+        algorithms=tuple(args.algorithm)
+        if args.algorithm
+        else ("lww", "ccv-fig5", "ccv-lazy"),
         inject=args.inject,
         n=args.n,
         ops=args.ops,
@@ -368,6 +396,21 @@ def cmd_classify(args: argparse.Namespace) -> int:
             "stats": dict(result.stats or {}),
         }
     print(render_table(["criterion", "holds", "reason", "work"], rows))
+    # histories exported with per-run network accounting (an explore
+    # --json cell has a "network" block: sent/delivered/suppressed_relays
+    # /pulled) surface it here, msgs/op included; a bare history carries
+    # no traffic, so classify stays a pure history tool otherwise
+    network = spec.get("network")
+    if isinstance(network, dict):
+        doc["network"] = dict(network)
+        if network.get("sent") is not None and len(history):
+            doc["network"]["msgs_per_op"] = round(
+                network["sent"] / len(history), 2
+            )
+        print(
+            "network: "
+            + ", ".join(f"{key}={val}" for key, val in doc["network"].items())
+        )
     if args.streaming or args.json_out:
         from .criteria.streaming_monitor import (
             SUPPORTED_CRITERIA,
@@ -541,10 +584,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--algorithm", action="append",
-        help="algorithm key (repeatable); default: lww, ccv-fig5",
+        help="algorithm key (repeatable); default: lww, ccv-fig5, ccv-lazy",
     )
     p.add_argument(
-        "--inject", choices=("none", "gc-frontier", "oneshot-resync"),
+        "--inject",
+        choices=("none", "gc-frontier", "oneshot-resync", "pull-starve"),
         default="none",
         help="plant a sentinel bug to test the pipeline end to end",
     )

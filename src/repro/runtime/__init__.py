@@ -4,6 +4,8 @@ from .broadcast import (
     BroadcastService,
     CausalBroadcast,
     FifoBroadcast,
+    LazyCausalBroadcast,
+    LazyReliableBroadcast,
     ReferenceCausalBroadcast,
     ReliableBroadcast,
     TotalOrderBroadcast,
@@ -19,6 +21,8 @@ __all__ = [
     "BroadcastService",
     "CausalBroadcast",
     "FifoBroadcast",
+    "LazyCausalBroadcast",
+    "LazyReliableBroadcast",
     "ReferenceCausalBroadcast",
     "ReliableBroadcast",
     "TotalOrderBroadcast",

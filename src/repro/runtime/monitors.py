@@ -27,7 +27,10 @@ supposed to maintain:
     would be unrepairable;
 ``resync-stranded``
     supervised resync exhausted its attempts with the target still
-    missing messages.
+    missing messages;
+``pull-stranded``
+    a lazy-push receiver exhausted its pull attempts with an advertised
+    body still missing.
 
 Monitors deliberately do **not** touch the rng and do not schedule
 events, so a run with monitors attached delivers a bit-identical
@@ -206,4 +209,14 @@ class RuntimeMonitor:
             "resync-stranded",
             target,
             f"still missing messages after {attempts} catch-up attempts",
+        )
+
+    def on_pull_stranded(self, pid: int, mid: Any, attempts: int) -> None:
+        """A lazy-push receiver exhausted its pull attempts with the
+        advertised body still missing (mirror of ``resync-stranded`` for
+        the pull path)."""
+        self._flag(
+            "pull-stranded",
+            pid,
+            f"body {mid!r} still missing after {attempts} pull attempts",
         )

@@ -134,10 +134,37 @@ class NetworkStats:
     duplicated: int = 0
     reordered: int = 0
     total_delay: float = 0.0
+    #: relays an eager flood would have sent but a lazy-push broadcast
+    #: replaced with (batched) id advertisements
+    suppressed_relays: int = 0
+    #: pull requests issued by lazy-push receivers for missing bodies
+    pulled: int = 0
+    #: estimated payload bytes handed to the network; only accounted
+    #: while ``Network.measure_bytes`` is on (the fan-out benchmark)
+    payload_bytes: int = 0
 
     @property
     def mean_delay(self) -> float:
         return self.total_delay / self.delivered if self.delivered else 0.0
+
+
+def _payload_size(payload: Any) -> int:
+    """Cheap serialized-size estimate (bytes) of a message payload.
+
+    Used by the fan-out benchmark's bytes/op accounting; precision is
+    not the point (there is no real wire format) — *relative* cost of
+    full bodies vs bare id advertisements is."""
+    if payload is None or isinstance(payload, (bool, int, float)):
+        return 8
+    if isinstance(payload, (str, bytes)):
+        return len(payload) + 1
+    if isinstance(payload, (list, tuple)):
+        return 8 + sum(_payload_size(v) for v in payload)
+    if isinstance(payload, dict):
+        return 16 + sum(
+            _payload_size(k) + _payload_size(v) for k, v in payload.items()
+        )
+    return 16
 
 
 class Network:
@@ -216,6 +243,11 @@ class Network:
         self._blocked: Set[Tuple[int, int]] = set()
         self._reorder_until: Optional[float] = None
         self._reorder_buf: Dict[Tuple[int, int], List[Any]] = {}
+        #: when on, send/multicast accumulate estimated payload bytes in
+        #: ``stats.payload_bytes`` (draws nothing from the rng, so runs
+        #: stay bit-identical either way; off by default to keep the
+        #: fast path free of the size estimate)
+        self.measure_bytes = False
 
     #: delivery spacing of a reorder-burst flush: each captured link
     #: releases its messages back-to-front at these deterministic gaps
@@ -259,9 +291,14 @@ class Network:
         """Deliver a second, independently delayed copy of each message
         with probability ``rate`` (a retransmission storm).  Duplication
         is a *delivery* fault: the extra copy goes through the normal
-        delivery path, so dedup layers above must absorb it."""
-        if not (0.0 <= rate < 1.0):
-            raise ValueError("duplicate rate must be in [0, 1)")
+        delivery path, so dedup layers above must absorb it.
+
+        Unlike the loss dial, the closed bound 1.0 is valid: a full
+        duplication storm still delivers every message (twice), so
+        progress is preserved — loss must stay < 1 to keep delivery
+        eventually possible, duplication need not."""
+        if not (0.0 <= rate <= 1.0):
+            raise ValueError("duplicate rate must be in [0, 1]")
         self.duplicate_rate = rate
 
     # ------------------------------------------------------------------
@@ -392,6 +429,8 @@ class Network:
         """Asynchronously deliver ``payload`` from ``src`` to ``dst``."""
         if src in self.crashed:
             return
+        if self.measure_bytes:
+            self.stats.payload_bytes += _payload_size(payload)
         if (self._group_of is not None or self._blocked) and self._separated(
             src, dst
         ):
@@ -421,6 +460,10 @@ class Network:
             for dst in self._peers[src]:
                 self.send(src, dst, payload)
             return
+        if self.measure_bytes:
+            self.stats.payload_bytes += len(self._peers[src]) * _payload_size(
+                payload
+            )
         if self._group_of is None:
             self._fan_out(src, self._peers[src], payload)
             return

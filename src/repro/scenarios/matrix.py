@@ -43,6 +43,14 @@ from .spec import ScenarioSpec
 #: inconclusive instead of wrong
 CHECK_BUDGET = 400_000
 
+#: ops beyond which the enumeration search is not even attempted: its
+#: setup (history order structure) is quadratic in events, so a 10k-op
+#: scale-tier history would burn minutes before the node budget could
+#: trip.  Far above every exact-checkable cell (the default sweep tops
+#: out at a few dozen ops); cells past it come back inconclusive and
+#: the streaming monitor (PR 7) decides them.
+SEARCH_MAX_OPS = 512
+
 #: ops per process in ``--fast`` (smoke) mode
 FAST_OPS = 3
 
@@ -60,6 +68,14 @@ class AlgorithmEntry:
     #: operation take effect remotely without ever completing at its
     #: origin, so the recorded history can expose unwritten values
     needs_reliable: bool = False
+    #: extra constructor kwargs, as a hashable (key, value) tuple — how
+    #: the lazy-transport variants select ``lazy=True``
+    extra: Tuple[Tuple[str, Any], ...] = ()
+    #: part of the default sweep?  Non-default entries (the lazy family)
+    #: are resolvable by explicit ``--algorithm`` / the scale tiers but
+    #: excluded from :func:`algorithm_names`, so the bit-identity
+    #: runtime-bench baseline never gains rows
+    default: bool = True
 
 
 ALGORITHMS: Dict[str, AlgorithmEntry] = {
@@ -75,6 +91,27 @@ ALGORITHMS: Dict[str, AlgorithmEntry] = {
         AlgorithmEntry(
             "sc-sequencer", ScSequencer, "SC", "adt", needs_reliable=True
         ),
+        # the push/lazy-push transport family (PR 8): same algorithms,
+        # ~n·log n messages per broadcast instead of n(n-1).  Delivery
+        # schedules differ from the eager flood, so these are *not* in
+        # the default sweep (default=False keeps the bit-identity
+        # baseline untouched); the n=32/64 scale tiers run on them.
+        AlgorithmEntry(
+            "lww-lazy",
+            LwwReplication,
+            "CONV",
+            "adt",
+            extra=(("lazy", True),),
+            default=False,
+        ),
+        AlgorithmEntry(
+            "ccv-lazy",
+            CCvWindowArray,
+            "CCV",
+            "window",
+            extra=(("lazy", True),),
+            default=False,
+        ),
     )
 }
 
@@ -85,15 +122,39 @@ ALGORITHMS: Dict[str, AlgorithmEntry] = {
 #: that event count — CC/CCv cells would only come back inconclusive)
 SCALE_ALGORITHMS: Tuple[str, ...] = ("lww", "gossip")
 
+#: the lazy-transport family the n=32/64 tiers default to: the eager
+#: flood's n(n-1) fan-out drowns the simulation plane there (that
+#: asymmetry is the point of PR 8).  ccv-lazy cells are decided by the
+#: streaming monitor (the enumeration search cannot start at 10k ops);
+#: lww-lazy cells by the CONV live-state comparison.
+LAZY_SCALE_ALGORITHMS: Tuple[str, ...] = ("lww-lazy", "ccv-lazy")
+
+#: per-scenario algorithm tuples of the scale tier (scenarios absent
+#: here use SCALE_ALGORITHMS)
+SCALE_TIER_ALGORITHMS: Dict[str, Tuple[str, ...]] = {
+    "scale-n32-hotkey": LAZY_SCALE_ALGORITHMS,
+    "scale-n64-hotkey": LAZY_SCALE_ALGORITHMS,
+}
+
+
+def scale_algorithms_for(scenario: str) -> Tuple[str, ...]:
+    """The default algorithm tuple of one scale-tier scenario."""
+    return SCALE_TIER_ALGORITHMS.get(scenario, SCALE_ALGORITHMS)
+
 
 def algorithm_names() -> List[str]:
-    return list(ALGORITHMS)
+    """The default sweep's algorithms (non-default entries — the lazy
+    transport family — are resolvable by explicit key only)."""
+    return [key for key, entry in ALGORITHMS.items() if entry.default]
 
 
 def _build_kwargs(entry: AlgorithmEntry, spec: ScenarioSpec) -> Dict[str, Any]:
     if entry.kwargs_style == "window":
-        return {"streams": spec.streams, "k": spec.k}
-    return {"adt": WindowStreamArray(spec.streams, spec.k)}
+        kwargs: Dict[str, Any] = {"streams": spec.streams, "k": spec.k}
+    else:
+        kwargs = {"adt": WindowStreamArray(spec.streams, spec.k)}
+    kwargs.update(entry.extra)
+    return kwargs
 
 
 def build_post_setup(entry: AlgorithmEntry, spec: ScenarioSpec):
@@ -164,6 +225,9 @@ class MatrixCell:
     #: streaming-monitor verdicts + stats when explore ran with
     #: ``--monitor`` (None otherwise): ``{"criteria": {...}, "stats": {...}}``
     streaming: Optional[Dict[str, Any]] = None
+    #: per-run network accounting (sent / delivered / suppressed_relays
+    #: / pulled), the message-complexity surface of the lazy transport
+    network: Dict[str, int] = field(default_factory=dict)
 
     @property
     def failure(self) -> bool:
@@ -241,6 +305,9 @@ def _run_cell(job: Tuple[Any, ...]) -> MatrixCell:
             failures.append(
                 ("divergence", "live replicas disagree at quiescence")
             )
+    elif result.ops > SEARCH_MAX_OPS:
+        ok = None
+        note = "history beyond enumeration-search reach"
     else:
         kwargs = (
             {"max_nodes": CHECK_BUDGET}
@@ -345,6 +412,12 @@ def _run_cell(job: Tuple[Any, ...]) -> MatrixCell:
         monitor_violations=monitor_violations,
         failures=failures,
         streaming=streaming,
+        network={
+            "sent": result.network_stats.sent,
+            "delivered": result.network_stats.delivered,
+            "suppressed_relays": result.network_stats.suppressed_relays,
+            "pulled": result.network_stats.pulled,
+        },
     )
 
 
@@ -459,7 +532,7 @@ def run_matrix(
         get_scenario(name)  # fail fast on typos
     for key in algo_keys:
         if key not in ALGORITHMS:
-            known = ", ".join(algorithm_names())
+            known = ", ".join(ALGORITHMS)
             raise KeyError(f"unknown algorithm {key!r}; known: {known}")
 
     fast_ops = FAST_OPS if fast else 0

@@ -182,6 +182,36 @@ def _scale() -> List[ScenarioSpec]:
                 write_ratio=0.5, hot_key_weight=0.8,
             ),
         ),
+        # the PR 8 fan-out tiers: at n=32 the eager flood costs 992
+        # sends per broadcast, at n=64 it is 4032 — these cells default
+        # to the lazy-push algorithm family (see
+        # ``matrix.SCALE_TIER_ALGORITHMS``); their CC/CCv verdicts come
+        # from the streaming monitor (search cannot start at 10k ops)
+        # and CONV from the live-state comparison
+        ScenarioSpec(
+            name="scale-n32-hotkey",
+            description="10,240 Poisson ops over 32 replicas, hot-key "
+            "contention — the relay-suppression tier: runs on the "
+            "push/lazy-push broadcast family",
+            n=32,
+            streams=4,
+            workload=WorkloadSpec(
+                kind="open", ops_per_process=320, rate=4.0,
+                write_ratio=0.5, hot_key_weight=0.8,
+            ),
+        ),
+        ScenarioSpec(
+            name="scale-n64-hotkey",
+            description="10,240 Poisson ops over 64 replicas — the "
+            "eager flood would cost 4032 sends per broadcast here; "
+            "only the lazy family finishes inside a CI wall cap",
+            n=64,
+            streams=4,
+            workload=WorkloadSpec(
+                kind="open", ops_per_process=160, rate=4.0,
+                write_ratio=0.5, hot_key_weight=0.8,
+            ),
+        ),
     ]
 
 

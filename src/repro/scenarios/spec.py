@@ -197,10 +197,19 @@ class FaultEvent:
             raise ValueError(
                 f"unknown fault action {action!r}; known: {known}"
             )
-        if action in ("loss", "duplicate"):
+        if action == "loss":
+            # loss must stay below 1: a link that loses everything can
+            # never deliver, so progress would be impossible
             if not _finite(self.rate) or not (0.0 <= self.rate < 1.0):
                 raise ValueError(
-                    f"{action} rate must be in [0, 1), got {self.rate!r}"
+                    f"loss rate must be in [0, 1), got {self.rate!r}"
+                )
+        elif action == "duplicate":
+            # a full duplication storm (rate 1.0) is a valid chaos
+            # configuration: every message is still delivered, just twice
+            if not _finite(self.rate) or not (0.0 <= self.rate <= 1.0):
+                raise ValueError(
+                    f"duplicate rate must be in [0, 1], got {self.rate!r}"
                 )
         elif action == "delay-scale":
             if not _finite(self.factor) or self.factor <= 0:

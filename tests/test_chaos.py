@@ -66,11 +66,21 @@ class TestFaultValidation:
             F.crash(time, 0).validate()
 
     @pytest.mark.parametrize("rate", [-0.1, 1.0, 1.5, float("nan")])
-    def test_loss_and_duplicate_rates_must_be_in_unit_interval(self, rate):
-        with pytest.raises(ValueError, match=r"rate must be in \[0, 1\)"):
+    def test_loss_rate_must_be_below_one(self, rate):
+        with pytest.raises(ValueError, match=r"loss rate must be in \[0, 1\)"):
             F.loss(1.0, rate).validate()
-        with pytest.raises(ValueError, match=r"rate must be in \[0, 1\)"):
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.5, float("nan")])
+    def test_duplicate_rate_must_be_in_closed_unit_interval(self, rate):
+        with pytest.raises(
+            ValueError, match=r"duplicate rate must be in \[0, 1\]"
+        ):
             F.duplicate(1.0, rate).validate()
+
+    def test_duplicate_rate_one_is_valid(self):
+        # a duplication storm that copies *every* message still makes
+        # progress (unlike loss = 1.0, which would stall the run forever)
+        F.duplicate(1.0, 1.0).validate()
 
     def test_delay_scale_must_be_positive_finite(self):
         with pytest.raises(ValueError, match="factor"):
@@ -176,9 +186,18 @@ class TestNetworkChaos:
     def test_duplicate_rate_validated(self):
         _, net, _ = _pair()
         with pytest.raises(ValueError):
-            net.set_duplicate_rate(1.0)
+            net.set_duplicate_rate(1.1)
         with pytest.raises(ValueError):
             net.set_duplicate_rate(-0.1)
+
+    def test_duplicate_rate_one_duplicates_every_message(self):
+        sim, net, inbox = _pair(seed=2)
+        net.set_duplicate_rate(1.0)
+        for i in range(10):
+            net.send(0, 1, ("m", i))
+        sim.run()
+        assert net.stats.duplicated == 10
+        assert len(inbox) == 20
 
     def test_zero_duplicate_rate_draws_nothing(self):
         """The dial at zero must not consume rng draws — non-chaos runs
@@ -681,7 +700,7 @@ class TestChaosGenerate:
 class TestChaosDriver:
     def test_clean_code_survives_the_hunt(self):
         report = run_chaos(seed=1, trials=4, check_criterion=False)
-        assert report.ok and report.runs == 8
+        assert report.ok and report.runs == 12  # 4 trials x 3 algorithms
 
     def test_deterministic_per_seed(self):
         def snap(report):
@@ -729,3 +748,64 @@ class TestChaosDriver:
     def test_unknown_injection_rejected(self):
         with pytest.raises(ValueError, match="unknown injection"):
             run_chaos(seed=0, trials=1, inject="typo")
+
+    def test_pull_starve_sentinel_found_and_minimised(self, tmp_path):
+        """The lazy-transport sentinel (PR 8): holders that silently
+        drop pull requests strand receivers the push overlay missed.
+        The hunt finds it on the lazy algorithm within a pinned trial
+        budget, ddmin shrinks the schedule, and the repro replays."""
+        report = run_chaos(
+            seed=0, trials=20, algorithms=("ccv-lazy",),
+            inject="pull-starve", check_criterion=False,
+            save_dir=str(tmp_path),
+        )
+        assert report.failures, "pull-starve sentinel was never detected"
+        failure = report.failures[0]
+        assert set(failure.kinds) & {"pull-stranded", "divergence"}
+        assert len(failure.minimized) <= 5
+        assert len(failure.minimized) < failure.original_events
+        outcome, doc = replay_file(failure.path)
+        assert doc["expect_failure"] is True
+        assert set(doc["failure_kinds"]).intersection(outcome.kinds)
+
+    def test_pull_starve_requires_injection(self):
+        """Differential: the minimised schedule is clean on the healthy
+        pull path, so the failure really is the planted bug."""
+        report = run_chaos(
+            seed=0, trials=20, algorithms=("ccv-lazy",),
+            inject="pull-starve", check_criterion=False,
+        )
+        failure = report.failures[0]
+        clean = run_chaos_trial(
+            failure.spec, failure.algorithm, failure.run_seed, inject="none",
+            check_criterion=False,
+        )
+        assert not clean.failed
+
+    def test_pull_starve_inert_on_eager_transport(self):
+        """The sentinel flag only exists on the lazy transport: injecting
+        it under the eager algorithms changes nothing."""
+        report = run_chaos(
+            seed=1, trials=4, algorithms=("lww", "ccv-fig5"),
+            inject="pull-starve", check_criterion=False,
+        )
+        assert report.ok
+
+
+class TestFullDuplicationStorm:
+    """Satellite 1: duplicate rate 1.0 is now a legal chaos dial — every
+    message is copied once, and the dedup layer keeps every algorithm
+    correct (unlike loss = 1.0, duplication never blocks progress)."""
+
+    @pytest.mark.parametrize("algo", ["lww", "ccv-fig5", "ccv-lazy"])
+    def test_copy_everything_schedule_is_tolerated(self, algo):
+        from repro.scenarios import WorkloadSpec
+
+        spec = ScenarioSpec(
+            name="dup-storm-total",
+            n=4,
+            faults=(F.duplicate(0.5, 1.0), F.duplicate(9.0, 0.0)),
+            workload=WorkloadSpec(ops_per_process=5, write_ratio=0.6),
+        )
+        outcome = run_chaos_trial(spec, algo, run_seed=7, check_criterion=False)
+        assert not outcome.failed, outcome.failures
