@@ -54,8 +54,17 @@ from .core.operations import BOTTOM, HIDDEN, Invocation
 from .criteria import check
 from .util.tables import render_table
 
+def _window_array(spec: Dict[str, Any]):
+    # the multi-stream array the runtime algorithms implement — live
+    # service captures classify against it (streams/k match the cluster)
+    from .adts.window_stream import WindowStreamArray
+
+    return WindowStreamArray(int(spec.get("streams", 2)), int(spec.get("k", 2)))
+
+
 ADT_FACTORIES = {
     "window": lambda spec: WindowStream(int(spec.get("k", 2))),
+    "window-array": _window_array,
     "register": lambda spec: Register(),
     "memory": lambda spec: MemoryADT(spec.get("registers", "abcdef")),
     "queue": lambda spec: FifoQueue(),
@@ -86,8 +95,11 @@ def load_history(spec: Dict[str, Any]):
         known = ", ".join(sorted(ADT_FACTORIES))
         raise ValueError(f"unknown adt type {adt_type!r}; known: {known}") from None
     rows = []
+    times: List[List[float]] = []
+    timed = True
     for row_spec in spec.get("processes", []):
         row = []
+        row_times = []
         for op_spec in row_spec:
             invocation = Invocation(
                 op_spec["method"], tuple(op_spec.get("args", ()))
@@ -96,9 +108,21 @@ def load_history(spec: Dict[str, Any]):
             if adt.is_update(invocation) and not adt.is_query(invocation) and output is HIDDEN:
                 output = BOTTOM
             row.append(Operation(invocation, output))
+            start = op_spec.get("start")
+            if start is None:
+                timed = False
+            else:
+                row_times.append(float(start))
         rows.append(row)
+        times.append(row_times)
     criteria = [c.upper() for c in spec.get("criteria", ("SC", "CC", "CCV", "PC", "WCC"))]
-    return History.from_processes(rows), adt, criteria
+    # invocation timestamps (optional "start" per op) ride along exactly
+    # like recorder histories carry them: the witness-guided CCv search
+    # seeds its enumeration from them, and the streaming monitor replays
+    # in recorded-time order — the true streaming path.  Live service
+    # captures always include them; hand-written litmus files need not.
+    history = History.from_processes(rows, times=times if timed else None)
+    return history, adt, criteria
 
 
 # ----------------------------------------------------------------------
@@ -252,12 +276,27 @@ def cmd_explore(args: argparse.Namespace) -> int:
     if with_scale:
         scale_algs = len(args.algorithm or SCALE_ALGORITHMS)
         widest = max(widest, len(scale_names) * scale_algs * args.seeds)
+    # --only narrows to matching scenario/algorithm cells, the same
+    # filter shape as bench_runtime.py --only; "no match" is an error
+    # per sweep, degraded here to "no match across every sweep" so a
+    # filter that lands only in the scale tier still works
+    only_missed: List[str] = []
+
+    def sweep(**kwargs):
+        try:
+            return run_matrix(only=args.only, **kwargs)
+        except KeyError as exc:
+            if args.only and "matches no cell" in str(exc):
+                only_missed.append(str(exc))
+                return MatrixReport()
+            raise
+
     jobs = args.jobs if args.jobs else (os.cpu_count() or 2)
     with MatrixPool(min(jobs, max(1, widest))) as pool:
         if scenarios is not None and not scenarios:
             report = MatrixReport()  # only scale-tier names were given
         else:
-            report = run_matrix(
+            report = sweep(
                 scenarios=scenarios,
                 algorithms=args.algorithm or None,
                 seeds=args.seeds,
@@ -280,7 +319,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
                 )
                 groups.setdefault(algs, []).append(name)
             for algs, names in groups.items():
-                scale_report = run_matrix(
+                scale_report = sweep(
                     scenarios=names,
                     algorithms=list(algs),
                     seeds=args.seeds,
@@ -289,6 +328,10 @@ def cmd_explore(args: argparse.Namespace) -> int:
                     monitor=args.monitor,
                 )
                 report.cells.extend(scale_report.cells)
+    if args.only and not report.cells:
+        for message in only_missed:
+            print(message, file=sys.stderr)
+        return 2
     print(format_matrix_report(report))
     if args.json:
         with open(args.json, "w") as fh:
@@ -375,7 +418,14 @@ def cmd_classify(args: argparse.Namespace) -> int:
         "history": str(history),
         "criteria": {},
     }
-    for criterion in criteria:
+    exact_criteria = list(criteria)
+    if getattr(args, "streaming_only", False):
+        # live service captures run to thousands of operations — far past
+        # what the enumeration search can decide — so the polynomial
+        # streaming monitor is the only checker that terminates usefully
+        args.streaming = True
+        exact_criteria = []
+    for criterion in exact_criteria:
         kwargs: Dict[str, Any] = {}
         if criterion in ("WCC", "CC", "CCV"):
             if args.jobs:
@@ -466,6 +516,200 @@ def cmd_classify(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import LiveCluster, ServiceNode, drive_schedule, port_layout
+    from .service.proxy import load_fault_schedule
+
+    events = load_fault_schedule(args.faults) if args.faults else []
+
+    async def run_cluster() -> int:
+        cluster = LiveCluster(
+            args.n,
+            base_port=args.base_port,
+            algorithm=args.algorithm,
+            streams=args.streams,
+            k=args.k,
+            seed=args.seed,
+            proxied=not args.no_proxy,
+        )
+        await cluster.start()
+        ports = ", ".join(
+            f"{pid}:{cluster.client_addr(pid)[1]}" for pid in range(args.n)
+        )
+        print(
+            f"cluster up: n={args.n} algorithm={args.algorithm} "
+            f"client ports {ports}"
+            + (" (proxied)" if not args.no_proxy else "")
+        )
+        chaos = None
+        if events:
+            chaos = asyncio.ensure_future(
+                drive_schedule(
+                    events,
+                    cluster.proxies,
+                    cluster.node_control,
+                    time_scale=args.time_scale,
+                )
+            )
+            print(f"driving {len(events)} fault event(s) from {args.faults}")
+        try:
+            if args.duration:
+                await asyncio.sleep(args.duration)
+            else:
+                while True:
+                    await asyncio.sleep(3600)
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+        finally:
+            if chaos is not None:
+                chaos.cancel()
+            await cluster.close()
+        return 0
+
+    async def run_node() -> int:
+        layout = port_layout(
+            args.n, args.base_port, proxied=not args.no_proxy
+        )
+        node = ServiceNode(
+            args.pid,
+            addrs=layout["dial"],
+            my_addr=layout["peer"][args.pid],
+            client_addr=layout["client"][args.pid],
+            algorithm=args.algorithm,
+            streams=args.streams,
+            k=args.k,
+            seed=args.seed,
+        )
+        await node.start()
+        print(
+            f"node {args.pid}/{args.n} up: algorithm={args.algorithm} "
+            f"peer port {layout['peer'][args.pid][1]}, "
+            f"client port {layout['client'][args.pid][1]}"
+        )
+        try:
+            if args.duration:
+                await asyncio.sleep(args.duration)
+            else:
+                while True:
+                    await asyncio.sleep(3600)
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+        finally:
+            await node.close()
+        return 0
+
+    try:
+        if args.pid is None:
+            return asyncio.run(run_cluster())
+        if args.faults:
+            print(
+                "--faults needs the cluster shape (the schedule drives "
+                "in-process proxies); start without --pid",
+                file=sys.stderr,
+            )
+            return 2
+        return asyncio.run(run_node())
+    except KeyboardInterrupt:
+        return 0
+
+
+def cmd_load(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .scenarios.spec import WorkloadSpec
+    from .service import (
+        capture_history,
+        converged_windows,
+        port_layout,
+        run_load,
+    )
+
+    spec = WorkloadSpec(
+        kind="open",
+        rate=args.rate,
+        write_ratio=args.write_ratio,
+        hot_key_weight=args.hot_key,
+    )
+    layout = port_layout(args.n, args.base_port)
+    addrs = layout["client"]
+
+    async def run() -> int:
+        report = await run_load(
+            addrs,
+            spec,
+            streams=args.streams,
+            duration=args.duration,
+            sessions_per_node=args.sessions,
+            seed=args.seed,
+        )
+        print(
+            f"issued {report.issued}, completed {report.completed} "
+            f"({report.ops_per_sec:.0f} op/s), rejected {report.rejected}, "
+            f"errors {report.errors}"
+        )
+        if args.settle:
+            await asyncio.sleep(args.settle)
+        conv = await converged_windows(addrs, args.streams)
+        print(f"replicas converged: {conv}")
+        if args.capture:
+            doc = await capture_history(addrs, args.streams, args.k)
+            with open(args.capture, "w") as fh:
+                json.dump(doc, fh)
+            ops = sum(len(row) for row in doc["processes"])
+            print(
+                f"captured {ops} ops to {args.capture} — classify with: "
+                f"repro classify {args.capture} --streaming-only"
+            )
+        return 0 if report.errors == 0 else 1
+
+    return asyncio.run(run())
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import client_call, port_layout
+
+    layout = port_layout(args.n, args.base_port)
+    pids = [args.pid] if args.pid is not None else list(range(args.n))
+
+    async def run() -> int:
+        failures = 0
+        statuses = {}
+        for pid in pids:
+            try:
+                reply = await client_call(
+                    layout["client"][pid], {"cmd": "status"}, timeout=2.0
+                )
+                statuses[pid] = reply.get("status", {})
+            except (OSError, asyncio.TimeoutError, ConnectionError):
+                statuses[pid] = {"unreachable": True}
+                failures += 1
+        if args.json_out:
+            print(json.dumps(statuses, indent=2, default=str))
+            return 1 if failures else 0
+        for pid, doc in statuses.items():
+            if doc.get("unreachable"):
+                print(f"node {pid}: unreachable")
+                continue
+            mon = doc.get("monitor", {})
+            stats = doc.get("stats", {})
+            print(
+                f"node {pid}: {'CRASHED' if doc.get('crashed') else 'up'} "
+                f"ops={doc.get('ops')} backlog={doc.get('backlog')} "
+                f"sent={stats.get('sent')} delivered={stats.get('delivered')} "
+                f"monitor={'ok' if mon.get('ok', True) else 'VIOLATIONS'} "
+                f"violations={mon.get('total', 0)}"
+            )
+            for line in mon.get("violations", [])[:5]:
+                print(f"    {line}")
+        return 1 if failures else 0
+
+    return asyncio.run(run())
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -521,6 +765,12 @@ def build_parser() -> argparse.ArgumentParser:
         "hatch (verdicts are identical either way)",
     )
     p.add_argument(
+        "--streaming-only", action="store_true",
+        help="skip the enumeration search and run only the streaming "
+        "bad-pattern monitor — the mode for live service captures, whose "
+        "op counts are far past what the exact search can decide",
+    )
+    p.add_argument(
         "--streaming", action="store_true",
         help="also run the streaming bad-pattern monitor over the history "
         "(single pass, polynomial time) and print its verdicts, violating "
@@ -545,6 +795,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--algorithm", action="append",
         help="algorithm key (repeatable); default: all",
+    )
+    p.add_argument(
+        "--only", metavar="SUBSTR",
+        help="run only cells whose scenario/algorithm label contains "
+        "SUBSTR (same filter as bench_runtime.py --only); matching no "
+        "cell is an error",
     )
     p.add_argument("--seeds", type=int, default=2)
     p.add_argument(
@@ -619,6 +875,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay saved repro JSON files instead of hunting",
     )
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser(
+        "serve",
+        help="host a live asyncio cluster (or one node) on loopback TCP",
+    )
+    p.add_argument("--n", type=int, default=3, help="cluster size")
+    p.add_argument(
+        "--pid", type=int, default=None,
+        help="host only this node (one OS process per node); default: "
+        "the whole cluster in-process, fault proxies included",
+    )
+    p.add_argument("--base-port", type=int, default=7420)
+    p.add_argument("--algorithm", default="ccv-fig5")
+    p.add_argument("--streams", type=int, default=2)
+    p.add_argument("--k", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--no-proxy", action="store_true",
+        help="peers dial each other directly (no fault proxies)",
+    )
+    p.add_argument(
+        "--faults", metavar="FILE",
+        help="drive this fault schedule JSON (a ScenarioSpec document or "
+        "a bare event list) against the running cluster",
+    )
+    p.add_argument(
+        "--time-scale", type=float, default=1.0,
+        help="seconds of wall time per fault-schedule time unit",
+    )
+    p.add_argument(
+        "--duration", type=float, default=0.0,
+        help="exit after this many seconds (default: serve until ^C)",
+    )
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "load",
+        help="open-loop load against a running live cluster, with "
+        "optional history capture for classify",
+    )
+    p.add_argument("--n", type=int, default=3)
+    p.add_argument("--base-port", type=int, default=7420)
+    p.add_argument("--duration", type=float, default=3.0)
+    p.add_argument(
+        "--rate", type=float, default=25.0, help="arrivals/s per session"
+    )
+    p.add_argument("--write-ratio", type=float, default=0.5)
+    p.add_argument(
+        "--hot-key", type=float, default=0.0,
+        help="probability an op targets stream 0 (contention)",
+    )
+    p.add_argument("--sessions", type=int, default=4, help="per node")
+    p.add_argument("--streams", type=int, default=2)
+    p.add_argument("--k", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--settle", type=float, default=1.0,
+        help="seconds to wait before the convergence check",
+    )
+    p.add_argument(
+        "--capture", metavar="FILE",
+        help="write the cluster's recorded history as classify JSON",
+    )
+    p.set_defaults(fn=cmd_load)
+
+    p = sub.add_parser(
+        "status", help="operator status of a running live cluster"
+    )
+    p.add_argument("--n", type=int, default=3)
+    p.add_argument("--base-port", type=int, default=7420)
+    p.add_argument("--pid", type=int, default=None, help="one node only")
+    p.add_argument(
+        "--json", dest="json_out", action="store_true",
+        help="dump full status documents as JSON",
+    )
+    p.set_defaults(fn=cmd_status)
 
     return parser
 

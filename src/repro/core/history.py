@@ -149,6 +149,7 @@ class History:
         events: List[Event] = []
         past_masks: List[int] = []
         flat_times: Optional[List[float]] = [] if times is not None else None
+        chains: List[Tuple[int, ...]] = []
         for p, row in enumerate(rows):
             row_ops = operations(row)
             if flat_times is not None:
@@ -160,12 +161,19 @@ class History:
                     )
                 flat_times.extend(row_times)
             prefix_mask = 0
+            start = len(events)
             for operation in row_ops:
                 eid = len(events)
                 events.append(Event(eid, p, operation.invocation, operation.output))
                 past_masks.append(prefix_mask)
                 prefix_mask |= 1 << eid
-        return cls(events, past_masks, times=flat_times)
+            if row_ops:
+                chains.append(tuple(range(start, len(events))))
+        history = cls(events, past_masks, times=flat_times)
+        # The declared rows ARE the maximal chains of a disjoint union of
+        # row orders; seeding them skips the general-DAG enumeration.
+        history._chains = tuple(chains)
+        return history
 
     @classmethod
     def from_dag(
@@ -284,22 +292,31 @@ class History:
                     mask ^= low
                     isucc[low.bit_length() - 1].append(e)
 
-            def extend(path: List[int]) -> None:
-                if len(chains) >= max_chains:
-                    raise RuntimeError(
-                        f"history has more than {max_chains} maximal chains"
-                    )
-                succs = isucc[path[-1]]
-                if not succs:
-                    chains.append(tuple(path))
-                    return
-                for nxt in succs:
-                    path.append(nxt)
-                    extend(path)
-                    path.pop()
-
+            # iterative DFS — chains can be as long as the history, far
+            # past the interpreter recursion limit
             for start in minimal:
-                extend([start])
+                path = [start]
+                branch: List[int] = [0]  # next successor index per depth
+                while path:
+                    if len(chains) >= max_chains:
+                        raise RuntimeError(
+                            f"history has more than {max_chains} "
+                            "maximal chains"
+                        )
+                    succs = isucc[path[-1]]
+                    if not succs:
+                        chains.append(tuple(path))
+                        path.pop()
+                        branch.pop()
+                        continue
+                    nxt = branch[-1]
+                    if nxt < len(succs):
+                        branch[-1] += 1
+                        path.append(succs[nxt])
+                        branch.append(0)
+                    else:
+                        path.pop()
+                        branch.pop()
             if not minimal and n:
                 raise RuntimeError("non-empty order with no minimal element")
             self._chains = tuple(chains)

@@ -1329,9 +1329,15 @@ def replay_history(
 
     Events are fed in recorded-time order when the history carries
     timestamps (exercising the true streaming path) and in program order
-    otherwise; the verdict is feed-order independent.  Histories whose
-    program order is not a union of per-process chains, non-window ADTs
-    and non-differentiated histories yield inconclusive verdicts.
+    otherwise.  Feed the monitor a linear extension of the real-time
+    order — the order a live run actually observes.  An arbitrary
+    interleaving of the per-process rows can over-constrain the inferred
+    conflict and happens-before edges and report a cycle the timed feed
+    would not (observed on live service captures stripped of their
+    timestamps), which is why ``repro.service.load.capture_history``
+    always carries ``start`` times through the classify JSON.  Histories
+    whose program order is not a union of per-process chains, non-window
+    ADTs and non-differentiated histories yield inconclusive verdicts.
     """
     shape = _adt_shape(adt)
     stats = {"ops_seen": len(history)}

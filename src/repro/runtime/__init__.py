@@ -12,9 +12,10 @@ from .broadcast import (
 )
 from .clocks import LamportClock, VectorClock
 from .monitors import RuntimeMonitor, Violation
-from .network import DelayModel, Network, NetworkStats
+from .network import DelayModel, Network, NetworkStats, SimTransport
 from .recorder import HistoryRecorder, OpRecord
 from .simulator import Simulator
+from .transport import Transport
 from .workload import Client, OpenLoopClient, uniform_script
 
 __all__ = [
@@ -33,6 +34,8 @@ __all__ = [
     "DelayModel",
     "Network",
     "NetworkStats",
+    "SimTransport",
+    "Transport",
     "HistoryRecorder",
     "OpRecord",
     "Simulator",

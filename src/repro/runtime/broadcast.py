@@ -56,7 +56,7 @@ from heapq import heappop, heappush
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from .clocks import VectorClock
-from .network import Network
+from .transport import Transport
 
 Handler = Callable[[int, Any], None]  # (origin pid, payload)
 
@@ -77,7 +77,7 @@ class BroadcastService:
 
     name = "broadcast"
 
-    def __init__(self, network: Network) -> None:
+    def __init__(self, network: Transport) -> None:
         self.network = network
         self.n = network.n
         self.delivery_handlers: Dict[int, Handler] = {}
@@ -143,7 +143,7 @@ class ReliableBroadcast(BroadcastService):
     #: must catch the resulting premature prune
     gc_frontier_bug = False
 
-    def __init__(self, network: Network, flood: bool = True) -> None:
+    def __init__(self, network: Transport, flood: bool = True) -> None:
         super().__init__(network)
         self.flood = flood
         n = self.n
@@ -207,12 +207,14 @@ class ReliableBroadcast(BroadcastService):
             min(frontiers[pid][origin] for pid in range(n))
             for origin in range(n)
         ]
-        if self.gc_frontier_bug and self.network.crashed:
+        # membership through the Transport contract — `.crashed` is a
+        # Network implementation detail the live transport doesn't have
+        crashed = {pid for pid in range(n) if self.network.is_crashed(pid)}
+        if self.gc_frontier_bug and crashed:
             # chaos sentinel (--inject gc-frontier): pretend every
             # crashed replica has seen one message more per origin than
             # its frozen frontier records — an off-by-one that can prune
             # a message a downed replica still needs
-            crashed = self.network.crashed
             stable = [
                 min(
                     frontiers[pid][origin] + (1 if pid in crashed else 0)
@@ -224,7 +226,7 @@ class ReliableBroadcast(BroadcastService):
             return
         monitor = self.monitor
         if monitor is not None:
-            monitor.on_gc(stable, frontiers, self.network.crashed)
+            monitor.on_gc(stable, frontiers, crashed)
         self._stable = stable
         for pid in range(n):
             log = self._log[pid]
@@ -345,7 +347,7 @@ class ReliableBroadcast(BroadcastService):
             # recorded-history fingerprints only move when a retry fires
             return live[0]
         reachable = [
-            pid for pid in live if not network._separated(pid, target)
+            pid for pid in live if not network.separated(pid, target)
         ]
         pool = reachable or live
         return pool[attempt % len(pool)]
@@ -368,7 +370,7 @@ class ReliableBroadcast(BroadcastService):
         # missing at the check, so traffic broadcast after this attempt
         # can never turn a complete catch-up into a spurious retry
         cutoff = tuple(self._next_id)
-        network.sim.schedule(
+        network.schedule(
             timeout, self._resync_check, target, epoch, attempt, timeout, cutoff
         )
 
@@ -431,7 +433,7 @@ class FifoBroadcast(ReliableBroadcast):
 
     name = "fifo"
 
-    def __init__(self, network: Network, flood: bool = True) -> None:
+    def __init__(self, network: Transport, flood: bool = True) -> None:
         super().__init__(network, flood)
         # next expected sequence number per (receiver, origin)
         self._expected: List[List[int]] = [[0] * self.n for _ in range(self.n)]
@@ -499,7 +501,7 @@ class CausalBroadcast(ReliableBroadcast):
 
     name = "causal"
 
-    def __init__(self, network: Network, flood: bool = True) -> None:
+    def __init__(self, network: Transport, flood: bool = True) -> None:
         super().__init__(network, flood)
         n = self.n
         self._vc: List[VectorClock] = [VectorClock(n) for _ in range(n)]
@@ -628,7 +630,7 @@ class ReferenceCausalBroadcast(CausalBroadcast):
 
     name = "causal-reference"
 
-    def __init__(self, network: Network, flood: bool = True) -> None:
+    def __init__(self, network: Transport, flood: bool = True) -> None:
         super().__init__(network, flood)
         self._buffer: List[List[Any]] = [[] for _ in range(self.n)]
 
@@ -715,10 +717,10 @@ class _LazyTransport:
     #: drop pull requests, so advertised-but-unpushed bodies strand
     pull_starve_bug = False
 
-    def __init__(self, network: Network, flood: bool = True) -> None:
+    def __init__(self, network: Transport, flood: bool = True) -> None:
         super().__init__(network, flood)
         n = self.n
-        seed = getattr(network.sim, "seed", 0)
+        seed = network.seed
         self._push_peers: List[Tuple[int, ...]] = [
             self.relay_subset(pid, n, seed) for pid in range(n)
         ]
@@ -791,7 +793,7 @@ class _LazyTransport:
         if len(log) >= self.ADV_BATCH:
             self._flush_adv(pid)
         elif self._adv_timer[pid] is None:
-            self._adv_timer[pid] = self.network.sim.schedule(
+            self._adv_timer[pid] = self.network.schedule(
                 self.ADV_FLUSH_DELAY, self._adv_timer_fire, pid
             )
 
@@ -802,7 +804,7 @@ class _LazyTransport:
     def _flush_adv(self, pid: int) -> None:
         timer = self._adv_timer[pid]
         if timer is not None:
-            self.network.sim.cancel(timer)
+            self.network.cancel(timer)
             self._adv_timer[pid] = None
         log = self._adv_log[pid]
         if not log:
@@ -868,7 +870,7 @@ class _LazyTransport:
             return
         entry = self._missing[pid].pop(mid, None)
         if entry is not None and entry[2] is not None:
-            self.network.sim.cancel(entry[2])
+            self.network.cancel(entry[2])
         self._note_seen(pid, body)
         if self.flood:
             self._relay(pid, body)
@@ -903,7 +905,7 @@ class _LazyTransport:
             if src not in holders:
                 holders.append(src)  # one more candidate for failover
             return
-        handle = self.network.sim.schedule(
+        handle = self.network.schedule(
             self.PULL_GRACE, self._pull_fire, pid, mid
         )
         missing[mid] = [[src], 0, handle]
@@ -921,8 +923,8 @@ class _LazyTransport:
         reachable = [
             h
             for h in live
-            if not network._separated(pid, h)
-            and not network._separated(h, pid)
+            if not network.separated(pid, h)
+            and not network.separated(h, pid)
         ]
         others = [
             q
@@ -930,8 +932,8 @@ class _LazyTransport:
             if q != pid
             and q not in holders
             and not network.is_crashed(q)
-            and not network._separated(pid, q)
-            and not network._separated(q, pid)
+            and not network.separated(pid, q)
+            and not network.separated(q, pid)
         ]
         pool = reachable + others or live
         if not pool:
@@ -966,7 +968,7 @@ class _LazyTransport:
             request = {"kind": "pull", "mid": mid}
             self._attach_adv(pid, holder, request)
             network.send(pid, holder, request)
-        entry[2] = network.sim.schedule(
+        entry[2] = network.schedule(
             self.PULL_TIMEOUT * (self.PULL_BACKOFF**attempt),
             self._pull_fire,
             pid,
@@ -1001,8 +1003,8 @@ class _LazyTransport:
         if src in holders:
             holders.remove(src)  # a known non-holder
         if entry[2] is not None:
-            self.network.sim.cancel(entry[2])
-        entry[2] = self.network.sim.schedule(0.0, self._pull_fire, pid, mid)
+            self.network.cancel(entry[2])
+        entry[2] = self.network.schedule(0.0, self._pull_fire, pid, mid)
 
     def missing_count(self, pid: int) -> int:
         """Advertised bodies ``pid`` is still waiting on (observability)."""
@@ -1054,7 +1056,7 @@ class TotalOrderBroadcast(BroadcastService):
 
     name = "total-order"
 
-    def __init__(self, network: Network, sequencer: int = 0) -> None:
+    def __init__(self, network: Transport, sequencer: int = 0) -> None:
         super().__init__(network)
         self.sequencer = sequencer
         self._next_seq = 0

@@ -18,6 +18,7 @@ from heapq import heappush
 from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from .simulator import Simulator
+from .transport import Transport
 
 
 class DelayModel:
@@ -167,8 +168,11 @@ def _payload_size(payload: Any) -> int:
     return 16
 
 
-class Network:
-    """Reliable asynchronous unicast between ``n`` processes.
+class Network(Transport):
+    """Reliable asynchronous unicast between ``n`` processes — the
+    simulated :class:`~repro.runtime.transport.Transport` (re-exported as
+    ``SimTransport``): clock and timers delegate to the discrete-event
+    :class:`~repro.runtime.simulator.Simulator`.
 
     ``attach(pid, handler)`` registers the message handler of process
     ``pid``; :meth:`send` schedules its invocation after a sampled delay.
@@ -272,6 +276,30 @@ class Network:
 
     def is_crashed(self, pid: int) -> bool:
         return pid in self.crashed
+
+    # ------------------------------------------------------------------
+    # Transport interface: clock, timers, reachability
+    # ------------------------------------------------------------------
+    # The broadcast layers reach the simulator only through these
+    # delegates, so they run unchanged over a live transport.  Pure
+    # pass-throughs — no extra rng draws, no event reordering — which is
+    # what keeps recorded histories bit-identical across the refactor.
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def schedule(self, delay: float, cb: Callable, *args: Any) -> Any:
+        return self.sim.schedule(delay, cb, *args)
+
+    def cancel(self, handle: Any) -> None:
+        self.sim.cancel(handle)
+
+    @property
+    def seed(self) -> int:
+        return getattr(self.sim, "seed", 0)
+
+    def separated(self, src: int, dst: int) -> bool:
+        return self._separated(src, dst)
 
     # ------------------------------------------------------------------
     # Fault dials (loss bursts, delay spikes)
@@ -577,3 +605,8 @@ class Network:
         handler = self.handlers.get(dst)
         if handler is not None:
             handler(src, payload)
+
+
+#: the simulated :class:`Transport` under its interface-role name — the
+#: live counterpart is ``repro.service.AsyncioTransport``
+SimTransport = Network

@@ -1,0 +1,102 @@
+"""The transport interface the broadcast/replication stack is written to.
+
+The runtime algorithms (``ReliableBroadcast``, ``CausalBroadcast``, the
+lazy-push variants, and every ``ReplicatedObject`` subclass) need exactly
+five things from the layer below them:
+
+- point-to-point **send** and pid-ordered **multicast** with asynchronous
+  delivery into per-process handlers (``attach``);
+- a **clock** (``now``) and **deferred scheduling** (``schedule`` /
+  ``cancel``) for timers — advertisement batching, pull retries, and the
+  supervised resync timeouts;
+- **membership** queries (``is_crashed``) so helpers skip dead peers;
+- **reachability** queries (``separated``) so resync picks helpers it can
+  actually talk to;
+- a **seed** for deterministic tie-breaking (helper rotation, adv jitter).
+
+:class:`Transport` names that contract.  The simulated stack
+(:class:`repro.runtime.network.Network`, re-exported as ``SimTransport``)
+implements it by delegating timers to the discrete-event
+:class:`~repro.runtime.simulator.Simulator`; the live stack
+(``repro.service.AsyncioTransport``) implements it over TCP sockets with
+``loop.call_later`` timers.  The broadcast layers cannot tell the
+difference — which is the point: the conformance suite in
+``tests/test_transport_conformance.py`` runs the same delivery/FIFO/causal
+assertions against both.
+
+Timer semantics the implementations must honour:
+
+- ``schedule(delay, cb, *args)`` returns an opaque handle; ``cancel``
+  with a handle that already fired (or was already cancelled) is a no-op;
+- callbacks run on the transport's single event thread/loop, never
+  concurrently with message delivery — the broadcast layers are written
+  lock-free on that assumption;
+- a crashed source neither sends nor receives until recovered, and a
+  ``separated`` pair exchanges nothing until reconnected (hold, not lose,
+  in the simulated plane; the live plane's fault proxy makes the same
+  choice).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+Handler = Callable[[int, Any], None]
+
+
+class Transport:
+    """Abstract message-passing substrate for ``n`` processes.
+
+    Deliberately *not* an ``abc.ABC``: the simulated implementation sits
+    on the runtime's hottest paths and must not pay metaclass dispatch;
+    the unimplemented methods raise instead.
+    """
+
+    #: number of processes (pids ``0..n-1``)
+    n: int
+
+    # -- delivery -------------------------------------------------------
+    def attach(self, pid: int, handler: Handler) -> None:
+        """Register ``handler(src, payload)`` as ``pid``'s message sink."""
+        raise NotImplementedError
+
+    def send(self, src: int, dst: int, payload: Any) -> None:
+        """Asynchronously deliver ``payload`` from ``src`` to ``dst``."""
+        raise NotImplementedError
+
+    def multicast(self, src: int, payload: Any) -> None:
+        """Send ``payload`` from ``src`` to every other process, in pid
+        order (one independent delay per destination)."""
+        raise NotImplementedError
+
+    # -- clock and timers ----------------------------------------------
+    @property
+    def now(self) -> float:
+        """The transport's notion of current time (simulated or wall)."""
+        raise NotImplementedError
+
+    def schedule(self, delay: float, cb: Callable, *args: Any) -> Any:
+        """Run ``cb(*args)`` after ``delay`` time units; returns an opaque
+        cancellation handle."""
+        raise NotImplementedError
+
+    def cancel(self, handle: Any) -> None:
+        """Cancel a pending :meth:`schedule`; no-op if already fired."""
+        raise NotImplementedError
+
+    # -- membership and reachability -----------------------------------
+    def is_crashed(self, pid: int) -> bool:
+        raise NotImplementedError
+
+    def separated(self, src: int, dst: int) -> bool:
+        """True while the directed pair cannot currently communicate
+        (partitioned or blocked); used by resync helper selection."""
+        raise NotImplementedError
+
+    # -- determinism hooks ---------------------------------------------
+    @property
+    def seed(self) -> int:
+        """Seed for deterministic tie-breaking in the layers above (e.g.
+        lazy-push helper rotation).  Live transports return a fixed value
+        per node."""
+        return 0

@@ -106,7 +106,7 @@ class FaultSchedule:
         elif action == "crash-storm":
             for pid in event.pids:
                 self._crash_one(network, algorithm, clients, pid)
-            network.sim.schedule(
+            network.schedule(
                 event.duration,
                 self._storm_recover,
                 network,
@@ -164,7 +164,7 @@ class FaultSchedule:
         src, dst = event.pids
         pairs = ((src, dst), (dst, src))
         period = event.duration
-        sim = network.sim
+        sim = network
         network.block_links(pairs)
         for i in range(event.count):
             if i:

@@ -512,6 +512,7 @@ def run_matrix(
     fast: bool = False,
     pool: Optional[MatrixPool] = None,
     monitor: bool = False,
+    only: Optional[str] = None,
 ) -> MatrixReport:
     """Run the scenario × algorithm × seed sweep, in parallel.
 
@@ -525,7 +526,12 @@ def run_matrix(
     (live, via the recorder subscription): its verdicts and stats land
     in :attr:`MatrixCell.streaming`, disagreements with the enumeration
     search fail the cell, and cells the search left inconclusive are
-    decided by the monitor."""
+    decided by the monitor.
+
+    ``only`` narrows the sweep to cells whose ``scenario/algorithm``
+    label contains the substring (the same filter shape as
+    ``bench_runtime.py --only``); a filter matching no cell is an
+    error, not an empty green report."""
     scenario_keys = list(scenarios) if scenarios else scenario_names()
     algo_keys = list(algorithms) if algorithms else algorithm_names()
     for name in scenario_keys:
@@ -541,7 +547,15 @@ def run_matrix(
         for scenario in scenario_keys
         for algo in algo_keys
         for seed in range(seeds)
+        if only is None or only in f"{scenario}/{algo}"
     ]
+    if only is not None and not cells_in:
+        labels = sorted(
+            f"{s}/{a}" for s in scenario_keys for a in algo_keys
+        )
+        raise KeyError(
+            f"--only {only!r} matches no cell; cells: {', '.join(labels)}"
+        )
     if pool is not None:
         cells = pool.map(_run_cell, cells_in)
     else:

@@ -42,6 +42,46 @@ class DelaySpec:
     kind: str = "uniform"
     params: Tuple[float, ...] = (0.5, 1.5)
 
+    #: kind -> (min params, max params, parameter names for messages)
+    _ARITY = {
+        "constant": (1, 1, ("delay",)),
+        "uniform": (2, 2, ("low", "high")),
+        "exponential": (1, 2, ("mean", "floor")),
+        "per-link": (2, 3, ("low", "high", "jitter")),
+    }
+
+    def __post_init__(self) -> None:
+        """Reject malformed delay models at spec-parse time, with the
+        offending parameter named — not as a ``TypeError`` from the
+        factory or a nonsense delay sampled mid-run."""
+        try:
+            lo, hi, names = self._ARITY[self.kind]
+        except KeyError:
+            known = ", ".join(sorted(self._ARITY))
+            raise ValueError(
+                f"unknown delay model {self.kind!r}; known: {known}"
+            ) from None
+        count = len(self.params)
+        if not (lo <= count <= hi):
+            want = f"{lo}" if lo == hi else f"{lo}..{hi}"
+            raise ValueError(
+                f"delay model {self.kind!r} takes {want} parameter(s) "
+                f"({', '.join(names)}), got {count}: {self.params!r}"
+            )
+        for name, value in zip(names, self.params):
+            if not _finite(value) or value < 0:
+                raise ValueError(
+                    f"delay model {self.kind!r} parameter {name!r} must "
+                    f"be a finite number >= 0, got {value!r}"
+                )
+        if self.kind in ("uniform", "per-link"):
+            low, high = self.params[0], self.params[1]
+            if low > high:
+                raise ValueError(
+                    f"delay model {self.kind!r} needs low <= high, "
+                    f"got low={low!r} high={high!r}"
+                )
+
     def build(self) -> DelayModel:
         factories = {
             "constant": DelayModel.constant,
@@ -180,6 +220,21 @@ class FaultEvent:
         return FaultEvent(
             time, "crash-storm", pids=tuple(pids), duration=downtime
         )
+
+    @staticmethod
+    def from_dict(f: Dict[str, Any]) -> "FaultEvent":
+        """Parse one event from its JSON dict form, validated."""
+        return FaultEvent(
+            time=f["time"],
+            action=f["action"],
+            groups=tuple(tuple(g) for g in f.get("groups", ())),
+            pid=f.get("pid", -1),
+            rate=f.get("rate", 0.0),
+            factor=f.get("factor", 1.0),
+            pids=tuple(f.get("pids", ())),
+            duration=f.get("duration", 0.0),
+            count=f.get("count", 0),
+        ).validate()
 
     # ------------------------------------------------------------------
     def validate(self) -> "FaultEvent":
@@ -345,6 +400,25 @@ class ScenarioSpec:
     quiescence_reads: bool = True
     description: str = ""
 
+    def __post_init__(self) -> None:
+        """Dimension and rate checks at parse time, mirroring
+        :meth:`FaultEvent.validate`: a bad spec should name its broken
+        field here, not surface as an index error mid-run."""
+        for name, minimum in (("n", 1), ("streams", 1), ("k", 1)):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < minimum:
+                raise ValueError(
+                    f"scenario {name} must be an integer >= {minimum}, "
+                    f"got {value!r}"
+                )
+        # like the loss fault event: rate 1 would mean no link ever
+        # delivers, so no run could terminate
+        if not _finite(self.loss_rate) or not (0.0 <= self.loss_rate < 1.0):
+            raise ValueError(
+                f"scenario loss_rate must be in [0, 1), "
+                f"got {self.loss_rate!r}"
+            )
+
     # ------------------------------------------------------------------
     def fast(self, ops: int = 4) -> "ScenarioSpec":
         """A shrunk copy for smoke runs: fewer ops, same faults."""
@@ -375,18 +449,7 @@ class ScenarioSpec:
             params=tuple(d.get("params", (0.5, 1.5))),
         )
         faults = tuple(
-            FaultEvent(
-                time=f["time"],
-                action=f["action"],
-                groups=tuple(tuple(g) for g in f.get("groups", ())),
-                pid=f.get("pid", -1),
-                rate=f.get("rate", 0.0),
-                factor=f.get("factor", 1.0),
-                pids=tuple(f.get("pids", ())),
-                duration=f.get("duration", 0.0),
-                count=f.get("count", 0),
-            ).validate()
-            for f in data.get("faults", ())
+            FaultEvent.from_dict(f) for f in data.get("faults", ())
         )
         w = data.get("workload", {})
         workload = WorkloadSpec(

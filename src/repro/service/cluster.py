@@ -1,0 +1,180 @@
+"""In-process live cluster: n nodes + fault proxies on loopback.
+
+The CLI's ``repro serve --pid i`` hosts a single node per OS process;
+this module is the other deployment shape — every node, proxy and the
+load driver sharing one event loop — which is what the tests and the CI
+``service-smoke`` job use: no subprocess lifecycle to babysit, and a
+crash mid-run is one coroutine flipping a flag rather than a SIGKILL.
+
+Port layout from ``base_port``: node ``i`` listens for peers at
+``base + 3i``, its fault proxy at ``base + 3i + 1`` (the address the
+*other* nodes dial), and its client protocol at ``base + 3i + 2``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional, Tuple
+
+from . import wire
+from .node import ServiceNode
+from .proxy import FaultProxy
+from .transport import Address
+
+HOST = "127.0.0.1"
+
+
+def port_layout(
+    n: int, base_port: int, host: str = HOST, proxied: bool = True
+) -> Dict[str, Any]:
+    """Address plan for an ``n``-node loopback cluster."""
+    peer = {pid: (host, base_port + 3 * pid) for pid in range(n)}
+    proxy = {pid: (host, base_port + 3 * pid + 1) for pid in range(n)}
+    client = {pid: (host, base_port + 3 * pid + 2) for pid in range(n)}
+    return {
+        "peer": peer,
+        "proxy": proxy,
+        "client": client,
+        # what peers dial: the proxy when one fronts the node
+        "dial": proxy if proxied else peer,
+    }
+
+
+class LiveCluster:
+    """n ServiceNodes (+ optional FaultProxies) in one event loop."""
+
+    def __init__(
+        self,
+        n: int,
+        base_port: int = 7420,
+        algorithm: str = "ccv-fig5",
+        streams: int = 2,
+        k: int = 2,
+        seed: int = 0,
+        proxied: bool = True,
+        host: str = HOST,
+    ) -> None:
+        self.n = n
+        self.layout = port_layout(n, base_port, host=host, proxied=proxied)
+        self.proxies: Dict[int, FaultProxy] = {}
+        if proxied:
+            self.proxies = {
+                pid: FaultProxy(
+                    pid,
+                    listen=self.layout["proxy"][pid],
+                    upstream=self.layout["peer"][pid],
+                    seed=seed,
+                )
+                for pid in range(n)
+            }
+        self.nodes: List[ServiceNode] = [
+            ServiceNode(
+                pid,
+                addrs=self.layout["dial"],
+                my_addr=self.layout["peer"][pid],
+                client_addr=self.layout["client"][pid],
+                algorithm=algorithm,
+                streams=streams,
+                k=k,
+                seed=seed,
+            )
+            for pid in range(n)
+        ]
+
+    def client_addr(self, pid: int) -> Address:
+        return self.layout["client"][pid]
+
+    async def start(self) -> None:
+        epoch = asyncio.get_event_loop().time()
+        for node in self.nodes:
+            node.clock.rebase(epoch)
+        for proxy in self.proxies.values():
+            await proxy.start()
+        for node in self.nodes:
+            await node.start()
+
+    async def close(self) -> None:
+        for node in self.nodes:
+            await node.close()
+        for proxy in self.proxies.values():
+            await proxy.close()
+
+    async def node_control(self, pid: int, cmd: str) -> Dict[str, Any]:
+        """Operator RPC against a node's client port (used by the fault
+        schedule driver for crash/recover events)."""
+        return await client_call(self.client_addr(pid), {"cmd": cmd})
+
+
+# ----------------------------------------------------------------------
+# Minimal client helpers (one-shot and session)
+# ----------------------------------------------------------------------
+async def client_call(
+    addr: Address, request: Dict[str, Any], timeout: float = 5.0
+) -> Dict[str, Any]:
+    """One request/response round trip on a fresh connection."""
+    host, port = addr
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        request = dict(request)
+        request.setdefault("rid", 0)
+        wire.write_frame(writer, request)
+        await writer.drain()
+        return await asyncio.wait_for(wire.read_frame(reader), timeout)
+    finally:
+        writer.close()
+
+
+class ClientSession:
+    """A multiplexed client connection: many in-flight requests over one
+    socket, correlated by ``rid`` — thousands of open-loop sessions can
+    share one connection per node."""
+
+    def __init__(self, addr: Address) -> None:
+        self.addr = addr
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._next_rid = 0
+        self._pump: Optional[asyncio.Task] = None
+
+    async def connect(self) -> None:
+        host, port = self.addr
+        self._reader, self._writer = await asyncio.open_connection(host, port)
+        self._pump = asyncio.ensure_future(self._read_loop())
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = await wire.read_frame(self._reader)
+                fut = self._pending.pop(frame.get("rid"), None)
+                if fut is not None and not fut.done():
+                    fut.set_result(frame)
+        except (
+            OSError,
+            asyncio.IncompleteReadError,
+            ValueError,
+            ConnectionResetError,
+        ):
+            for fut in self._pending.values():
+                if not fut.done():
+                    fut.set_exception(ConnectionError("session closed"))
+            self._pending.clear()
+
+    async def call(
+        self, request: Dict[str, Any], timeout: float = 10.0
+    ) -> Dict[str, Any]:
+        rid = self._next_rid
+        self._next_rid += 1
+        request = dict(request)
+        request["rid"] = rid
+        fut = asyncio.get_event_loop().create_future()
+        self._pending[rid] = fut
+        wire.write_frame(self._writer, request)
+        await self._writer.drain()
+        return await asyncio.wait_for(fut, timeout)
+
+    async def close(self) -> None:
+        if self._pump is not None:
+            self._pump.cancel()
+        if self._writer is not None:
+            self._writer.close()

@@ -1,0 +1,188 @@
+"""Open-loop load generator for the live service plane.
+
+Drives a cluster the way the simulator's open-loop clients drive a run:
+each *session* issues invocations at Poisson arrivals (``rate`` per
+session), choosing reads vs writes by ``write_ratio`` and streams by the
+``WorkloadSpec`` hot-key skew (:func:`repro.scenarios.workloads.
+pick_stream`), without waiting for earlier operations to complete —
+sessions multiplex over one :class:`~repro.service.cluster.
+ClientSession` connection per node, so thousands of concurrent sessions
+are a scheduling problem, not a file-descriptor one.
+
+Values carry the same per-(node, session) namespace discipline as the
+simulated scripts (no value written twice), which the exact checkers and
+the streaming monitor require of a differentiated history.
+
+After the drive, :func:`capture_history` pulls every node's recorded
+operation row and assembles the classify-JSON document (``adt`` block
+included), so ``repro classify --streaming`` renders a verdict on the
+*live* capture end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..scenarios.spec import WorkloadSpec
+from ..scenarios.workloads import pick_stream
+from .cluster import ClientSession
+from .transport import Address
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one open-loop drive."""
+
+    issued: int = 0
+    completed: int = 0
+    rejected: int = 0  # node said no (crashed) — expected under chaos
+    errors: int = 0  # transport-level failures
+    wall: float = 0.0
+    per_node_ops: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def ops_per_sec(self) -> float:
+        return self.completed / self.wall if self.wall else 0.0
+
+
+#: value namespace stride per (node, session) — far above any smoke-test
+#: op count, so no value is ever written twice across the cluster
+VALUE_STRIDE = 1_000_000
+
+
+async def run_load(
+    client_addrs: Dict[int, Address],
+    spec: WorkloadSpec,
+    streams: int,
+    duration: float,
+    sessions_per_node: int = 4,
+    seed: int = 0,
+) -> LoadReport:
+    """Open-loop drive: every session fires invocations on its Poisson
+    clock for ``duration`` seconds, crash rejections counted, the
+    connection shared per node."""
+    report = LoadReport()
+    loop = asyncio.get_event_loop()
+    t0 = loop.time()
+    deadline = t0 + duration
+    conns: Dict[int, ClientSession] = {}
+    for pid, addr in client_addrs.items():
+        session = ClientSession(addr)
+        await session.connect()
+        conns[pid] = session
+
+    async def one_call(pid: int, request: Dict[str, Any]) -> None:
+        try:
+            reply = await conns[pid].call(request)
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            report.errors += 1
+            return
+        if reply.get("ok"):
+            report.completed += 1
+            report.per_node_ops[pid] = report.per_node_ops.get(pid, 0) + 1
+        else:
+            report.rejected += 1
+
+    async def session_task(pid: int, sidx: int) -> None:
+        rng = random.Random((seed * 1_000_003 + pid) * 4093 + sidx)
+        namespace = (pid * sessions_per_node + sidx) * VALUE_STRIDE
+        i = 0
+        inflight: List[asyncio.Task] = []
+        while True:
+            gap = rng.expovariate(spec.rate) if spec.rate > 0 else 0.01
+            now = loop.time()
+            if now + gap >= deadline:
+                break
+            await asyncio.sleep(gap)
+            x = pick_stream(rng, spec, streams)
+            if rng.random() < spec.write_ratio:
+                i += 1
+                request = {"cmd": "put", "x": x, "v": namespace + i}
+            else:
+                request = {"cmd": "get", "x": x}
+            report.issued += 1
+            # open loop: don't await completion before the next arrival
+            inflight.append(asyncio.ensure_future(one_call(pid, request)))
+        await asyncio.gather(*inflight, return_exceptions=True)
+
+    tasks = [
+        asyncio.ensure_future(session_task(pid, s))
+        for pid in client_addrs
+        for s in range(sessions_per_node)
+    ]
+    await asyncio.gather(*tasks)
+    report.wall = loop.time() - t0
+    for session in conns.values():
+        await session.close()
+    return report
+
+
+async def capture_history(
+    client_addrs: Dict[int, Address],
+    streams: int,
+    k: int,
+    criteria: tuple = ("CC", "CCV"),
+) -> Dict[str, Any]:
+    """Pull every node's recorded row and assemble the classify-JSON
+    document for the live run (process order = pid order)."""
+    processes: List[List[Dict[str, Any]]] = []
+    for pid in sorted(client_addrs):
+        session = ClientSession(client_addrs[pid])
+        await session.connect()
+        try:
+            reply = await session.call({"cmd": "history"})
+        finally:
+            await session.close()
+        ops = reply.get("ops", []) if reply.get("ok") else []
+        # "start" times ride along: the streaming monitor replays a
+        # timed history in recorded-time order — the order the wire
+        # actually delivered — which is what makes its conflict-order
+        # inference conclusive on live captures
+        processes.append(
+            [
+                {
+                    "method": op["method"],
+                    "args": list(op["args"]),
+                    "output": _json_output(op["output"]),
+                    "start": op.get("start"),
+                }
+                for op in ops
+            ]
+        )
+    return {
+        "adt": {"type": "window-array", "streams": streams, "k": k},
+        "criteria": list(criteria),
+        "processes": processes,
+    }
+
+
+def _json_output(out: Any) -> Any:
+    if isinstance(out, tuple):
+        return list(out)
+    return out
+
+
+async def converged_windows(
+    client_addrs: Dict[int, Address], streams: int
+) -> Optional[bool]:
+    """Do all live replicas report identical windows on every stream?
+    Returns None when a node is unreachable or lacks the observability
+    hook."""
+    windows: List[List[Any]] = []
+    for pid in sorted(client_addrs):
+        session = ClientSession(client_addrs[pid])
+        await session.connect()
+        try:
+            per_stream = []
+            for x in range(streams):
+                reply = await session.call({"cmd": "window", "x": x})
+                if not reply.get("ok"):
+                    return None
+                per_stream.append(reply.get("value"))
+            windows.append(per_stream)
+        finally:
+            await session.close()
+    return all(w == windows[0] for w in windows[1:])

@@ -1,0 +1,350 @@
+"""The live :class:`~repro.runtime.transport.Transport`: asyncio TCP.
+
+``AsyncioTransport`` implements the transport contract the broadcast
+stack is written to (see ``repro/runtime/transport.py``) over real
+sockets: length-prefixed JSON frames, one long-lived outbound connection
+per peer with reconnect + exponential backoff, and per-peer outbound
+queues with a high-water mark that surfaces backpressure to the layer
+above (the service node pauses client intake while any queue is over the
+mark — a synchronous ``send`` cannot block, so the pressure is exposed
+as an awaitable instead).
+
+The crucial difference from the simulated plane: in the simulator one
+``Network`` carries all ``n`` processes; live, each node owns one
+``AsyncioTransport`` and only its own pid is *active*.  The broadcast
+layers still attach handlers for every pid (they are written n-wide),
+but incoming frames dispatch only ``my_pid``'s handler — the other rows
+of the node's broadcast instance are reconstructed from digests (see
+``repro.service.node``).  Timers run on the event loop
+(``loop.call_later``), so the supervised-resync chain and the lazy-push
+pull timeouts run unmodified against wall-clock RPC timeouts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional, Tuple
+
+from ..runtime.network import NetworkStats
+from ..runtime.transport import Handler, Transport
+from . import wire
+
+Address = Tuple[str, int]
+
+
+class WallClock:
+    """Wall-clock stand-in for the ``sim`` handle algorithms hold.
+
+    Provides the exact surface the algorithms use — ``now``, ``rng``,
+    ``schedule``/``cancel``, ``seed`` — with time measured from the
+    clock's creation so recorded timestamps are small and comparable
+    across a cluster started together.  The rng is seeded with the
+    *cluster* seed: every node draws the identical sequence during
+    construction, so seed-derived structure that must agree across
+    replicas (LWW clock skews, lazy-push relay subsets) does.
+    """
+
+    def __init__(
+        self, seed: int = 0, loop: Optional[asyncio.AbstractEventLoop] = None
+    ) -> None:
+        import random
+
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self._loop = loop
+        self._t0: Optional[float] = None
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None:
+            self._loop = asyncio.get_event_loop()
+        return self._loop
+
+    @property
+    def now(self) -> float:
+        loop = self.loop
+        if self._t0 is None:
+            self._t0 = loop.time()
+        return loop.time() - self._t0
+
+    def rebase(self, t0: Optional[float] = None) -> None:
+        """Pin the epoch (default: now).  A cluster whose nodes share one
+        event loop rebases every clock to a single instant, so recorded
+        timestamps are mutually comparable — the streaming monitor
+        replays captures in recorded-time order, and a per-node epoch
+        would skew that order by the nodes' start stagger."""
+        self._t0 = self.loop.time() if t0 is None else t0
+
+    def schedule(self, delay: float, cb: Callable, *args: Any) -> Any:
+        if delay < 0:
+            raise ValueError("cannot schedule in the past")
+        return self.loop.call_later(delay, cb, *args)
+
+    def cancel(self, handle: Any) -> None:
+        if handle is not None:
+            handle.cancel()
+
+
+class AsyncioTransport(Transport):
+    """TCP transport for one node of a live cluster.
+
+    ``addrs`` maps every pid to the address its *peers* should dial —
+    when a fault proxy fronts a node, that is the proxy's address, so
+    all inter-node traffic flows through the fault dials.  ``my_addr``
+    is where this node actually listens (the proxy's upstream).
+    """
+
+    #: outbound frames queued per peer above which :meth:`drained` blocks
+    HIGH_WATER = 256
+    #: reconnect backoff: first retry after BACKOFF_BASE, doubling to cap
+    BACKOFF_BASE = 0.2
+    BACKOFF_CAP = 5.0
+
+    def __init__(
+        self,
+        my_pid: int,
+        addrs: Dict[int, Address],
+        my_addr: Optional[Address] = None,
+        seed: int = 0,
+        clock: Optional[WallClock] = None,
+    ) -> None:
+        self.my_pid = my_pid
+        self.n = len(addrs)
+        self.addrs = dict(addrs)
+        self.my_addr = my_addr or addrs[my_pid]
+        self.clock = clock or WallClock(seed)
+        self._seed = seed
+        self.stats = NetworkStats()
+        self.handlers: Dict[int, Handler] = {}
+        #: frames other than broadcast messages land here (digests,
+        #: resync RPCs) — the service node registers this
+        self.control_handler: Optional[Callable[[int, Any], None]] = None
+        #: local crash-stop flag: while set, this node neither sends nor
+        #: dispatches incoming frames (the live analogue of
+        #: ``Network.crash(my_pid)``)
+        self.crashed_local = False
+        #: membership oracle for *remote* pids (the view manager's
+        #: is_down); None means "assume everyone up"
+        self.crash_oracle: Optional[Callable[[int], bool]] = None
+        self._queues: Dict[int, Deque[bytes]] = {
+            pid: deque() for pid in addrs if pid != my_pid
+        }
+        self._kick: Dict[int, asyncio.Event] = {}
+        self._drain_waiters: Deque[asyncio.Future] = deque()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._tasks: list = []
+        self._closed = False
+        #: peers currently connected outbound (observability)
+        self.connected: Dict[int, bool] = {
+            pid: False for pid in addrs if pid != my_pid
+        }
+
+    # ------------------------------------------------------------------
+    # Transport interface
+    # ------------------------------------------------------------------
+    def attach(self, pid: int, handler: Handler) -> None:
+        self.handlers[pid] = handler
+
+    def send(self, src: int, dst: int, payload: Any) -> None:
+        """Queue a broadcast-layer message frame for ``dst``.
+
+        ``src`` is whatever pid the layer above speaks as — on a live
+        node that is ``my_pid`` for original broadcasts and relays, and
+        stays truthful in the frame so the receiver's dedup and causal
+        layers see the same ``(src, message)`` pairs as in the simulator.
+        """
+        self._send_frame(dst, {"t": "msg", "src": src, "body": payload})
+
+    def multicast(self, src: int, payload: Any) -> None:
+        frame = {"t": "msg", "src": src, "body": payload}
+        if self.crashed_local:
+            return
+        raw = wire.encode(frame)
+        for dst in range(self.n):
+            if dst != self.my_pid:
+                self._enqueue(dst, raw)
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def schedule(self, delay: float, cb: Callable, *args: Any) -> Any:
+        return self.clock.schedule(delay, cb, *args)
+
+    def cancel(self, handle: Any) -> None:
+        self.clock.cancel(handle)
+
+    def is_crashed(self, pid: int) -> bool:
+        if pid == self.my_pid:
+            return self.crashed_local
+        if self.crash_oracle is not None:
+            return self.crash_oracle(pid)
+        return False
+
+    def separated(self, src: int, dst: int) -> bool:
+        # a live node cannot see the proxy's partition map; unreachable
+        # peers look down (missed heartbeats), which the helper-selection
+        # pools already handle through is_crashed
+        return False
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    # ------------------------------------------------------------------
+    # Control frames (digests, resync RPCs)
+    # ------------------------------------------------------------------
+    def send_control(self, dst: int, body: Any) -> None:
+        self._send_frame(dst, {"t": "ctl", "src": self.my_pid, "body": body})
+
+    def multicast_control(self, body: Any) -> None:
+        if self.crashed_local:
+            return
+        raw = wire.encode({"t": "ctl", "src": self.my_pid, "body": body})
+        for dst in range(self.n):
+            if dst != self.my_pid:
+                self._enqueue(dst, raw)
+
+    # ------------------------------------------------------------------
+    # Outbound path
+    # ------------------------------------------------------------------
+    def _send_frame(self, dst: int, frame: Dict[str, Any]) -> None:
+        if self.crashed_local:
+            return
+        if dst == self.my_pid:
+            # self-sends do not occur in the broadcast layers; tolerate
+            # them anyway by dispatching on the next loop tick
+            self.clock.loop.call_soon(self._dispatch, frame)
+            return
+        self._enqueue(dst, wire.encode(frame))
+
+    def _enqueue(self, dst: int, raw: bytes) -> None:
+        self.stats.sent += 1
+        self.stats.payload_bytes += len(raw)
+        self._queues[dst].append(raw)
+        kick = self._kick.get(dst)
+        if kick is not None:
+            kick.set()
+
+    def backlog(self) -> int:
+        """Largest per-peer outbound queue (the backpressure signal)."""
+        return max((len(q) for q in self._queues.values()), default=0)
+
+    async def drained(self) -> None:
+        """Wait until every outbound queue is back under the high-water
+        mark — the service node awaits this before accepting more client
+        operations when a slow peer (or a proxy holding a partition)
+        backs traffic up."""
+        while self.backlog() > self.HIGH_WATER:
+            fut = self.clock.loop.create_future()
+            self._drain_waiters.append(fut)
+            await fut
+
+    def _wake_drain_waiters(self) -> None:
+        if self.backlog() <= self.HIGH_WATER:
+            while self._drain_waiters:
+                fut = self._drain_waiters.popleft()
+                if not fut.done():
+                    fut.set_result(None)
+
+    async def _writer(self, dst: int) -> None:
+        """One peer's outbound pump: connect (with exponential backoff),
+        say hello, then drain the queue; on any connection error, loop
+        back to reconnect with the queue intact."""
+        backoff = self.BACKOFF_BASE
+        queue = self._queues[dst]
+        kick = self._kick[dst] = asyncio.Event()
+        while not self._closed:
+            host, port = self.addrs[dst]
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+            except OSError:
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, self.BACKOFF_CAP)
+                continue
+            backoff = self.BACKOFF_BASE
+            self.connected[dst] = True
+            try:
+                writer.write(
+                    wire.encode({"t": "hello", "src": self.my_pid})
+                )
+                await writer.drain()
+                while not self._closed:
+                    if not queue:
+                        kick.clear()
+                        self._wake_drain_waiters()
+                        await kick.wait()
+                        continue
+                    raw = queue.popleft()
+                    writer.write(raw)
+                    await writer.drain()
+            except (OSError, asyncio.IncompleteReadError):
+                pass
+            finally:
+                self.connected[dst] = False
+                writer.close()
+
+    # ------------------------------------------------------------------
+    # Inbound path
+    # ------------------------------------------------------------------
+    async def _serve_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            hello = await wire.read_frame(reader)
+            if not (isinstance(hello, dict) and hello.get("t") == "hello"):
+                return
+            while True:
+                frame = await wire.read_frame(reader)
+                self._dispatch(frame)
+        except (
+            OSError,
+            asyncio.IncompleteReadError,
+            ValueError,
+            ConnectionResetError,
+        ):
+            pass
+        except asyncio.CancelledError:
+            # loop teardown cancels server-held connections; exiting
+            # cleanly keeps shutdown quiet
+            pass
+        finally:
+            writer.close()
+
+    def _dispatch(self, frame: Dict[str, Any]) -> None:
+        if self.crashed_local:
+            self.stats.dropped_to_crashed += 1
+            return
+        kind = frame.get("t")
+        src = frame.get("src")
+        if kind == "msg":
+            self.stats.delivered += 1
+            handler = self.handlers.get(self.my_pid)
+            if handler is not None:
+                handler(src, frame["body"])
+        elif kind == "ctl":
+            if self.control_handler is not None:
+                self.control_handler(src, frame["body"])
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        host, port = self.my_addr
+        self._server = await asyncio.start_server(
+            self._serve_conn, host, port
+        )
+        for dst in self._queues:
+            self._tasks.append(asyncio.ensure_future(self._writer(dst)))
+
+    async def close(self) -> None:
+        self._closed = True
+        for kick in self._kick.values():
+            kick.set()
+        for task in self._tasks:
+            task.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await asyncio.gather(*self._tasks, return_exceptions=True)

@@ -1,0 +1,99 @@
+"""Wire format of the live service plane: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian length followed by a UTF-8 JSON body.
+The runtime payloads are not plain JSON values — message ids are tuples
+used as dict keys and compared structurally, vector stamps are tuples,
+and LWW log entries nest tuples inside tuples — so the codec tags them:
+
+- a tuple encodes as ``{"__t": [items]}`` and decodes back to a tuple;
+- a dict whose keys are not all strings (or that collides with a tag
+  key) encodes as ``{"__d": [[key, value], ...]}``.
+
+Everything else is JSON-native.  ``json`` round-trips ints exactly and
+floats through ``repr``, so a decoded frame compares equal to what was
+sent — which the dedup frontiers and causal stamps rely on.  The framing
+helpers cap the body size so a corrupt length prefix cannot balloon a
+read.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any
+
+#: frame length prefix: unsigned 32-bit big-endian
+_LEN = struct.Struct(">I")
+
+#: hard cap on a single frame body (16 MiB) — a corrupt or hostile
+#: length prefix fails fast instead of buffering unbounded input
+MAX_FRAME = 16 * 1024 * 1024
+
+_TAGS = ("__t", "__d")
+
+
+def _tag(obj: Any) -> Any:
+    if isinstance(obj, tuple):
+        return {"__t": [_tag(v) for v in obj]}
+    if isinstance(obj, list):
+        return [_tag(v) for v in obj]
+    if isinstance(obj, dict):
+        if all(isinstance(k, str) for k in obj) and not any(
+            k in _TAGS for k in obj
+        ):
+            return {k: _tag(v) for k, v in obj.items()}
+        return {"__d": [[_tag(k), _tag(v)] for k, v in obj.items()]}
+    return obj
+
+
+def _untag(obj: Any) -> Any:
+    if isinstance(obj, list):
+        return [_untag(v) for v in obj]
+    if isinstance(obj, dict):
+        if "__t" in obj:
+            return tuple(_untag(v) for v in obj["__t"])
+        if "__d" in obj:
+            return {_untag(k): _untag(v) for k, v in obj["__d"]}
+        return {k: _untag(v) for k, v in obj.items()}
+    return obj
+
+
+def encode(obj: Any) -> bytes:
+    """Serialize one frame (length prefix included)."""
+    body = json.dumps(
+        _tag(obj), separators=(",", ":"), ensure_ascii=False
+    ).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise ValueError(f"frame too large: {len(body)} bytes")
+    return _LEN.pack(len(body)) + body
+
+
+def decode(body: bytes) -> Any:
+    """Deserialize a frame body (length prefix already stripped)."""
+    return _untag(json.loads(body.decode("utf-8")))
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Any:
+    """Read one frame; raises ``asyncio.IncompleteReadError`` on EOF."""
+    prefix = await reader.readexactly(_LEN.size)
+    (length,) = _LEN.unpack(prefix)
+    if length > MAX_FRAME:
+        raise ValueError(f"frame too large: {length} bytes")
+    return decode(await reader.readexactly(length))
+
+
+def write_frame(writer: asyncio.StreamWriter, obj: Any) -> None:
+    """Queue one frame on ``writer`` (caller drains when it cares)."""
+    writer.write(encode(obj))
+
+
+async def read_raw_frame(reader: asyncio.StreamReader) -> bytes:
+    """Read one frame *without* decoding, returning the full wire bytes
+    (prefix included) — the fault proxy forwards frames opaquely and only
+    decodes the ones it must inspect."""
+    prefix = await reader.readexactly(_LEN.size)
+    (length,) = _LEN.unpack(prefix)
+    if length > MAX_FRAME:
+        raise ValueError(f"frame too large: {length} bytes")
+    return prefix + await reader.readexactly(length)

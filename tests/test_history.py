@@ -43,6 +43,20 @@ class TestFromProcesses:
         assert h.event(1).output == (0, 1)
         assert h.event(0).output is BOTTOM
 
+    def test_empty_rows_contribute_no_chain(self):
+        rows, _ = _w2_rows()
+        h = History.from_processes([rows[0], [], rows[1]])
+        assert set(h.processes()) == {(0, 1), (2, 3)}
+
+    def test_rows_longer_than_the_recursion_limit(self):
+        # live captures put thousands of ops on one row; processes()
+        # must not recurse per event (classify once blew the
+        # interpreter stack on a 3k-op capture)
+        w2 = WindowStream(2)
+        row = [w2.write(i) for i in range(2000)]
+        h = History.from_processes([row])
+        assert h.processes() == (tuple(range(2000)),)
+
 
 class TestFromDag:
     def test_fork_join_history(self):
@@ -58,6 +72,22 @@ class TestFromDag:
         ops = [op("w", 1), op("w", 2)]
         with pytest.raises(ValueError):
             History.from_dag(ops, [(0, 1), (1, 0)])
+
+    def test_deep_chain_enumerates_iteratively(self):
+        # chain enumeration must not recurse per event (the Hasse-diagram
+        # precomputation dominates wall time, so the chain here is modest
+        # and the recursion limit is squeezed instead)
+        import sys
+
+        n = 300
+        ops = [op("w", i) for i in range(n)]
+        h = History.from_dag(ops, [(i, i + 1) for i in range(n - 1)])
+        limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(100)
+        try:
+            assert h.processes() == (tuple(range(n)),)
+        finally:
+            sys.setrecursionlimit(limit)
 
     def test_edge_out_of_range_rejected(self):
         with pytest.raises(ValueError):

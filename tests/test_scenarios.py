@@ -76,6 +76,80 @@ class TestSpecRoundTrip:
             FaultSchedule([FaultEvent(1.0, "meteor")])
 
 
+class TestSpecParseValidation:
+    """Malformed specs fail at parse time, naming the broken field —
+    not as a ``TypeError`` from a factory or an index error mid-run."""
+
+    def test_delay_params_arity_named_in_message(self):
+        with pytest.raises(ValueError, match=r"'uniform' takes 2.*low, high"):
+            DelaySpec("uniform", (1.0,))
+        with pytest.raises(ValueError, match=r"'constant' takes 1"):
+            DelaySpec("constant", (1.0, 2.0))
+        # optional trailing parameters stay optional
+        assert DelaySpec("exponential", (0.5,)).build() is not None
+        assert DelaySpec("per-link", (0.5, 1.5)).build() is not None
+
+    def test_delay_param_values_validated(self):
+        with pytest.raises(ValueError, match=r"'delay' must be a finite"):
+            DelaySpec("constant", (-1.0,))
+        with pytest.raises(ValueError, match=r"'mean' must be a finite"):
+            DelaySpec("exponential", (float("nan"), 0.01))
+        with pytest.raises(ValueError, match="low <= high"):
+            DelaySpec("uniform", (2.0, 1.0))
+
+    def test_unknown_delay_kind_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown delay model"):
+            DelaySpec(kind="quantum", params=(1.0,))
+
+    def test_scenario_dimensions_validated(self):
+        with pytest.raises(ValueError, match="n must be an integer >= 1"):
+            ScenarioSpec("x", n=0)
+        with pytest.raises(ValueError, match="streams must be an integer"):
+            ScenarioSpec("x", streams=0)
+        with pytest.raises(ValueError, match="k must be an integer"):
+            ScenarioSpec("x", k=0)
+
+    def test_scenario_loss_rate_range(self):
+        with pytest.raises(ValueError, match=r"loss_rate must be in \[0, 1\)"):
+            ScenarioSpec("x", loss_rate=1.0)
+        with pytest.raises(ValueError, match="loss_rate"):
+            ScenarioSpec("x", loss_rate=-0.1)
+        assert ScenarioSpec("x", loss_rate=0.99).loss_rate == 0.99
+
+    def test_from_dict_validates_too(self):
+        # the JSON parse path constructs the same dataclasses, so the
+        # same checks fire on documents read from disk
+        with pytest.raises(ValueError, match="delay model"):
+            ScenarioSpec.from_dict(
+                {"name": "x", "delay": {"kind": "uniform", "params": [1.0]}}
+            )
+        with pytest.raises(ValueError, match="loss_rate"):
+            ScenarioSpec.from_dict({"name": "x", "loss_rate": 2.0})
+
+    def test_fault_event_dict_round_trip_preserves_validation(self):
+        event = FaultEvent.flap(2.0, 0, 1, cycles=2, period=0.5)
+        from dataclasses import asdict
+
+        again = FaultEvent.from_dict(asdict(event))
+        assert again == event
+        bad = asdict(event)
+        bad["count"] = 0
+        with pytest.raises(ValueError, match="count >= 1"):
+            FaultEvent.from_dict(bad)
+
+    def test_validated_specs_round_trip_unchanged(self):
+        spec = ScenarioSpec(
+            "edge",
+            n=2,
+            streams=1,
+            k=1,
+            delay=DelaySpec("per-link", (0.1, 0.9, 0.05)),
+            loss_rate=0.25,
+            faults=(FaultEvent.loss(1.0, 0.5), FaultEvent.repair(2.0)),
+        )
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+
 class TestWorkloads:
     def test_script_deterministic_per_seed(self):
         import random

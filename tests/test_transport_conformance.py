@@ -1,0 +1,301 @@
+"""Transport conformance: one contract, two planes.
+
+The broadcast stack is written against :class:`repro.runtime.transport.
+Transport`; this module runs the same behavioural assertions against
+both implementations — the simulated :class:`SimTransport` (= the
+``Network``/``Simulator`` pair) and the live :class:`AsyncioTransport`
+on loopback TCP — so a contract drift between the planes fails a test
+here before it corrupts a live classification run.
+
+Covered: point-to-point and multicast delivery with source fidelity,
+per-link FIFO order, timer scheduling (ordering, cancellation,
+cancel-after-fire as a no-op), the local/remote crash surface, and
+duplicate *surfacing* (a duplication fault reaches the layer above on
+both planes — dedup is the broadcast layer's job, and it must get the
+same raw stream to dedup either way).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.runtime.network import DelayModel, Network
+from repro.runtime.simulator import Simulator
+from repro.runtime.transport import Transport
+from repro.service.cluster import port_layout
+from repro.service.proxy import FaultProxy
+from repro.service.transport import AsyncioTransport
+
+BASE_PORT = 7610
+
+
+# ----------------------------------------------------------------------
+# Worlds: build n transports, deliver, tear down
+# ----------------------------------------------------------------------
+class SimWorld:
+    """All n pids share one SimTransport over a deterministic delay."""
+
+    plane = "sim"
+
+    def __init__(self, n: int, duplicate_rate: float = 0.0) -> None:
+        self.n = n
+        self.sim = Simulator(seed=1)
+        self.net = Network(self.sim, n, delay=DelayModel.constant(0.05))
+        if duplicate_rate:
+            self.net.set_duplicate_rate(duplicate_rate)
+
+    def transport(self, pid: int) -> Transport:
+        return self.net
+
+    def send(self, src: int, dst: int, payload) -> None:
+        self.net.send(src, dst, payload)
+
+    def multicast(self, src: int, payload) -> None:
+        self.net.multicast(src, payload)
+
+    def crash(self, pid: int) -> None:
+        self.net.crash(pid)
+
+    def recover(self, pid: int) -> None:
+        self.net.recover(pid)
+
+    async def settle(self, seconds: float = 1.0) -> None:
+        self.sim.run()
+
+    async def close(self) -> None:
+        pass
+
+
+class LiveWorld:
+    """n AsyncioTransports on loopback, optionally behind fault proxies."""
+
+    plane = "live"
+
+    def __init__(self, n: int, duplicate_rate: float = 0.0) -> None:
+        self.n = n
+        self.duplicate_rate = duplicate_rate
+        proxied = duplicate_rate > 0
+        self.layout = port_layout(n, BASE_PORT, proxied=proxied)
+        self.proxies = []
+        if proxied:
+            self.proxies = [
+                FaultProxy(
+                    pid,
+                    listen=self.layout["proxy"][pid],
+                    upstream=self.layout["peer"][pid],
+                    seed=1,
+                )
+                for pid in range(n)
+            ]
+        self.transports = [
+            AsyncioTransport(
+                pid,
+                addrs=self.layout["dial"],
+                my_addr=self.layout["peer"][pid],
+                seed=1,
+            )
+            for pid in range(n)
+        ]
+
+    async def start(self) -> None:
+        for proxy in self.proxies:
+            proxy.set_duplicate_rate(self.duplicate_rate)
+            await proxy.start()
+        for transport in self.transports:
+            await transport.start()
+
+    def transport(self, pid: int) -> Transport:
+        return self.transports[pid]
+
+    def send(self, src: int, dst: int, payload) -> None:
+        self.transports[src].send(src, dst, payload)
+
+    def multicast(self, src: int, payload) -> None:
+        self.transports[src].multicast(src, payload)
+
+    def crash(self, pid: int) -> None:
+        self.transports[pid].crashed_local = True
+
+    def recover(self, pid: int) -> None:
+        self.transports[pid].crashed_local = False
+
+    async def settle(self, seconds: float = 1.0) -> None:
+        await asyncio.sleep(seconds)
+
+    async def close(self) -> None:
+        for transport in self.transports:
+            await transport.close()
+        for proxy in self.proxies:
+            await proxy.close()
+
+
+async def make_world(plane: str, n: int, duplicate_rate: float = 0.0):
+    if plane == "sim":
+        return SimWorld(n, duplicate_rate=duplicate_rate)
+    world = LiveWorld(n, duplicate_rate=duplicate_rate)
+    await world.start()
+    return world
+
+
+def attach_recorders(world, n):
+    """Per-pid delivery logs of (src, payload)."""
+    logs = {pid: [] for pid in range(n)}
+
+    def handler_for(pid):
+        def handler(src, payload):
+            logs[pid].append((src, payload))
+
+        return handler
+
+    for pid in range(n):
+        world.transport(pid).attach(pid, handler_for(pid))
+    return logs
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+PLANES = ("sim", "live")
+
+
+# ----------------------------------------------------------------------
+# Delivery
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("plane", PLANES)
+def test_send_delivers_with_source_fidelity(plane):
+    async def body():
+        world = await make_world(plane, 3)
+        logs = attach_recorders(world, 3)
+        world.send(0, 1, {"op": "x", "seq": 1})
+        world.send(2, 1, {"op": "y", "seq": 2})
+        await world.settle()
+        await world.close()
+        assert sorted(logs[1]) == [
+            (0, {"op": "x", "seq": 1}),
+            (2, {"op": "y", "seq": 2}),
+        ]
+        assert logs[0] == [] and logs[2] == []
+
+    run(body())
+
+
+@pytest.mark.parametrize("plane", PLANES)
+def test_multicast_reaches_every_other_pid_once(plane):
+    async def body():
+        world = await make_world(plane, 4)
+        logs = attach_recorders(world, 4)
+        world.multicast(1, "hello")
+        await world.settle()
+        await world.close()
+        assert logs[1] == []  # no self-delivery at the transport level
+        for pid in (0, 2, 3):
+            assert logs[pid] == [(1, "hello")]
+
+    run(body())
+
+
+@pytest.mark.parametrize("plane", PLANES)
+def test_per_link_fifo_order(plane):
+    """Messages on one (src, dst) link arrive in send order — the
+    property the causal layers' contiguous sequence numbers lean on."""
+
+    async def body():
+        world = await make_world(plane, 2)
+        logs = attach_recorders(world, 2)
+        for i in range(50):
+            world.send(0, 1, i)
+        await world.settle()
+        await world.close()
+        assert [payload for _src, payload in logs[1]] == list(range(50))
+
+    run(body())
+
+
+# ----------------------------------------------------------------------
+# Timers
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("plane", PLANES)
+def test_timers_fire_in_delay_order_and_cancel(plane):
+    async def body():
+        world = await make_world(plane, 2)
+        transport = world.transport(0)
+        fired = []
+        transport.schedule(0.30, fired.append, "late")
+        transport.schedule(0.05, fired.append, "early")
+        cancelled = transport.schedule(0.10, fired.append, "never")
+        transport.cancel(cancelled)
+        await world.settle(1.0)
+        assert fired == ["early", "late"]
+        # cancel after fire is a harmless no-op — both planes accept it
+        handle = transport.schedule(0.01, fired.append, "again")
+        await world.settle(0.5)
+        transport.cancel(handle)
+        assert fired == ["early", "late", "again"]
+        await world.close()
+
+    run(body())
+
+
+@pytest.mark.parametrize("plane", PLANES)
+def test_now_advances_monotonically(plane):
+    async def body():
+        world = await make_world(plane, 2)
+        transport = world.transport(0)
+        t0 = transport.now
+        stamps = []
+        transport.schedule(0.05, lambda: stamps.append(transport.now))
+        transport.schedule(0.10, lambda: stamps.append(transport.now))
+        await world.settle(0.5)
+        await world.close()
+        assert len(stamps) == 2
+        assert t0 <= stamps[0] <= stamps[1]
+
+    run(body())
+
+
+# ----------------------------------------------------------------------
+# Crash surface
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("plane", PLANES)
+def test_crashed_node_neither_sends_nor_receives(plane):
+    async def body():
+        world = await make_world(plane, 3)
+        logs = attach_recorders(world, 3)
+        world.crash(1)
+        assert world.transport(1).is_crashed(1)
+        world.send(0, 1, "to-crashed")  # dropped at/for pid 1
+        world.send(1, 2, "from-crashed")  # crashed pid cannot send
+        await world.settle()
+        assert logs[1] == [] and logs[2] == []
+        world.recover(1)
+        assert not world.transport(1).is_crashed(1)
+        world.send(0, 1, "after-recover")
+        await world.settle()
+        await world.close()
+        assert logs[1] == [(0, "after-recover")]
+
+    run(body())
+
+
+# ----------------------------------------------------------------------
+# Duplicate surfacing
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("plane", PLANES)
+def test_duplication_fault_surfaces_to_the_layer_above(plane):
+    """With the duplication dial at 1.0 (sim network dial / live fault
+    proxy), every message reaches the handler twice: the transport makes
+    no dedup promise, so the broadcast layer must see the same raw
+    duplicate stream on either plane."""
+
+    async def body():
+        world = await make_world(plane, 2, duplicate_rate=1.0)
+        logs = attach_recorders(world, 2)
+        for i in range(5):
+            world.send(0, 1, i)
+        await world.settle()
+        await world.close()
+        payloads = sorted(payload for _src, payload in logs[1])
+        assert payloads == sorted(list(range(5)) * 2)
+
+    run(body())
