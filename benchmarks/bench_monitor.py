@@ -288,9 +288,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     cells: List[Dict[str, Any]] = []
     for total_ops in sizes:
         # tracemalloc multiplies the traced run's wall several-fold: the
-        # full sweep traces up to 100k (the 1M high-water adds no signal
-        # beyond the trend), the wall-capped smoke only the 10k cell
-        trace = total_ops <= (10_000 if args.smoke else 100_000)
+        # wall-capped smoke traces only the 10k cell; the full sweep
+        # traces every tier — the 1M high-water is the headline number
+        # for the streaming monitor's bounded-frontier claim, so it must
+        # be measured, not extrapolated from the trend
+        trace = total_ops <= 10_000 if args.smoke else True
         cell = run_cell(
             args.seed, total_ops, ("WCC", "CCV"), trace_memory=trace
         )

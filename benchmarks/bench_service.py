@@ -1,0 +1,568 @@
+"""A/B throughput benchmark for the live service plane hot path.
+
+PR 9 shipped the live plane at roughly 440 aggregate op/s on its
+reference scenario (3 nodes behind fault proxies, 5% loss + 5% dup, a
+crash and supervised rejoin mid-load) — open-loop, JSON wire codec, one
+write+drain per frame, lock-step clients, monitors fed synchronously.
+PR 10 rebuilt that path: binary codec, frame coalescing, client
+pipelining, ring-buffered observability tap.  This benchmark measures
+the rebuild two honest ways::
+
+    PYTHONPATH=src python benchmarks/bench_service.py                  # full sweep
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke          # CI guard
+    PYTHONPATH=src python benchmarks/bench_service.py \
+        --baseline benchmarks/results/BENCH_service_seed.json          # compare
+
+**Saturation A/B (like-for-like)** — closed-loop saturation of the
+*same* cluster shape under the PR 9 plane (``json`` codec, coalescing
+off, sync tap, lock-step ``window=1`` clients) and the PR 10 plane
+(``binary``, coalescing, ring tap, ``window=32`` over 2 pipelined
+connections per node), at n=3 and n=5.  Both planes run the identical
+algorithm on one shared event loop, so this ratio isolates what the
+wire/tap rebuild itself buys once the client stops being the bottleneck
+(expect ~2.5–3×: the remaining wall is the replication algorithm, which
+both planes pay equally).
+
+**Reference-scenario aggregate** — the PR 9 chaos scenario end to end,
+each plane driven the way its PR drove it: the baseline with PR 9's
+open-loop generator settings (rate 25/s × 4 sessions/node — the ~440
+op/s configuration the committed PR 9 numbers report), the optimized
+plane saturated through pipelined clients.  Both runs must converge
+after heal + repair, finish with zero monitor violations, and their
+captured histories must classify **conclusively CCv-consistent** by the
+streaming monitor — throughput that breaks the safety story does not
+count.  The headline gate (≥10× full, ≥3× smoke) is this ratio: it is
+the user-visible "ops served per second of chaos scenario" gain, and it
+is deliberately *not* like-for-like (the baseline generator is part of
+what PR 10 replaced).
+
+Cells are interleaved (baseline, optimized, baseline, …) so clock drift
+and thermal noise land on both planes — the PR 5 measurement protocol.
+``--baseline`` compares a committed report: verdict fields (convergence,
+monitor cleanliness, CCv classification, ring spills) must match
+exactly (exit 1 on drift); throughput is compared informationally and
+gated only by ``--min-ratio`` (exit 2 below it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import platform
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+_HERE = pathlib.Path(__file__).resolve().parent
+_ROOT = _HERE.parent
+if str(_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.cli import load_history  # noqa: E402
+from repro.criteria.streaming_monitor import replay_history  # noqa: E402
+from repro.scenarios.spec import FaultEvent, WorkloadSpec  # noqa: E402
+from repro.service import wire  # noqa: E402
+from repro.service.cluster import LiveCluster  # noqa: E402
+from repro.service.load import (  # noqa: E402
+    capture_history,
+    converged_windows,
+    run_load,
+)
+from repro.service.proxy import apply_event  # noqa: E402
+
+try:
+    from _util import emit
+except ImportError:  # pragma: no cover - run as a module
+    from benchmarks._util import emit
+
+BASE_PORT = 7740
+#: ports consumed per cell (3 per node, up to 5 nodes, plus slack)
+PORT_STRIDE = 30
+
+#: the two planes under test — everything else is held identical
+PLANES: Dict[str, Dict[str, Any]] = {
+    "baseline": {  # the PR 9 hot path, bit for bit
+        "codec": wire.CODEC_JSON,
+        "coalesce": False,
+        "tap": "sync",
+        "window": 1,
+        "connections": 1,
+    },
+    "optimized": {  # the PR 10 hot path
+        "codec": wire.CODEC_BINARY,
+        "coalesce": True,
+        "tap": "ring",
+        "window": 32,
+        "connections": 2,
+    },
+}
+
+STREAMS = 2
+K = 2
+SESSIONS = 32  # closed-loop sessions per node at saturation
+
+
+# ----------------------------------------------------------------------
+# Cells
+# ----------------------------------------------------------------------
+async def _statuses(cluster: LiveCluster) -> Dict[int, Dict[str, Any]]:
+    out = {}
+    for pid in range(cluster.n):
+        reply = await cluster.node_control(pid, "status")
+        out[pid] = reply["status"]
+    return out
+
+
+def _health(statuses: Dict[int, Dict[str, Any]]) -> Dict[str, Any]:
+    spills = sum(
+        doc.get("tap", {}).get("spills", 0) for doc in statuses.values()
+    )
+    wire_stats = {
+        pid: doc["wire"] for pid, doc in statuses.items()
+    }
+    return {
+        "monitors_ok": all(d["monitor"]["ok"] for d in statuses.values()),
+        "violations": sum(d["monitor"]["total"] for d in statuses.values()),
+        "ring_spills": spills,
+        "wire": wire_stats,
+    }
+
+
+async def _await_convergence(addrs, attempts: int = 40) -> bool:
+    for _ in range(attempts):
+        await asyncio.sleep(0.25)
+        if await converged_windows(addrs, STREAMS):
+            return True
+    return False
+
+
+def saturation_cell(
+    plane: str, n: int, base_port: int, duration: float, seed: int
+) -> Dict[str, Any]:
+    """Closed-loop saturation, no fault proxies: the pure hot path."""
+    cfg = PLANES[plane]
+
+    async def body():
+        cluster = LiveCluster(
+            n,
+            base_port=base_port,
+            streams=STREAMS,
+            k=K,
+            seed=seed,
+            proxied=False,
+            codec=cfg["codec"],
+            coalesce=cfg["coalesce"],
+            tap=cfg["tap"],
+        )
+        await cluster.start()
+        try:
+            await asyncio.sleep(0.3)
+            addrs = {pid: cluster.client_addr(pid) for pid in range(n)}
+            spec = WorkloadSpec(
+                kind="closed", write_ratio=0.6, hot_key_weight=0.3
+            )
+            report = await run_load(
+                addrs,
+                spec,
+                streams=STREAMS,
+                duration=duration,
+                sessions_per_node=SESSIONS,
+                seed=seed,
+                window=cfg["window"],
+                connections=cfg["connections"],
+                codec=cfg["codec"],
+                closed=True,
+            )
+            converged = await _await_convergence(addrs)
+            statuses = await _statuses(cluster)
+            return {
+                "kind": "saturation",
+                "plane": plane,
+                "n": n,
+                "duration": duration,
+                "completed": report.completed,
+                "errors": report.errors,
+                "ops_per_sec": round(report.completed / duration, 1),
+                "latency": report.latency_percentiles(),
+                "converged": converged,
+                **_health(statuses),
+            }
+        finally:
+            await cluster.close()
+
+    return asyncio.run(body())
+
+
+def reference_cell(
+    plane: str, base_port: int, duration: float, seed: int
+) -> Dict[str, Any]:
+    """The PR 9 reference chaos scenario end to end, driven the way the
+    plane's own PR drove it (open-loop generator for the baseline,
+    pipelined saturation for the optimized plane)."""
+    cfg = PLANES[plane]
+    saturated = plane == "optimized"
+
+    async def body():
+        cluster = LiveCluster(
+            3,
+            base_port=base_port,
+            streams=STREAMS,
+            k=K,
+            seed=seed,
+            proxied=True,
+            codec=cfg["codec"],
+            coalesce=cfg["coalesce"],
+            tap=cfg["tap"],
+        )
+        await cluster.start()
+        try:
+            await asyncio.sleep(0.4)
+            addrs = {pid: cluster.client_addr(pid) for pid in range(3)}
+            if saturated:
+                spec = WorkloadSpec(
+                    kind="closed", write_ratio=0.6, hot_key_weight=0.3
+                )
+            else:
+                spec = WorkloadSpec(
+                    kind="open",
+                    rate=25.0,
+                    write_ratio=0.6,
+                    hot_key_weight=0.3,
+                )
+
+            async def chaos():
+                ctl = cluster.node_control
+                px = cluster.proxies
+                await apply_event(FaultEvent.loss(0.0, 0.05), px, ctl)
+                await apply_event(FaultEvent.duplicate(0.0, 0.05), px, ctl)
+                await asyncio.sleep(duration * 0.28)
+                await ctl(2, "crash")
+                await asyncio.sleep(duration * 0.36)
+                await ctl(2, "recover")
+
+            load_task = asyncio.ensure_future(
+                run_load(
+                    addrs,
+                    spec,
+                    streams=STREAMS,
+                    duration=duration,
+                    sessions_per_node=SESSIONS if saturated else 4,
+                    seed=seed,
+                    window=cfg["window"],
+                    connections=cfg["connections"],
+                    codec=cfg["codec"],
+                    closed=saturated,
+                )
+            )
+            chaos_task = asyncio.ensure_future(chaos())
+            report = await load_task
+            await chaos_task
+
+            # heal the wire, one supervised-resync repair sweep
+            for proxy in cluster.proxies.values():
+                proxy.set_loss_rate(0.0)
+                proxy.set_duplicate_rate(0.0)
+            await apply_event(
+                FaultEvent.repair(0.0), cluster.proxies, cluster.node_control
+            )
+            converged = await _await_convergence(addrs, attempts=60)
+            statuses = await _statuses(cluster)
+            doc = await capture_history(
+                addrs, STREAMS, K, criteria=("CCV",)
+            )
+            history, adt, _criteria = load_history(doc)
+            verdict = replay_history(history, adt, criteria=("CCV",))["CCV"]
+            return {
+                "kind": "reference",
+                "plane": plane,
+                "n": 3,
+                "duration": duration,
+                "completed": report.completed,
+                "errors": report.errors,
+                "rejected": report.rejected,
+                "ops_per_sec": round(report.completed / duration, 1),
+                "latency": report.latency_percentiles(),
+                "converged": converged,
+                "ccv": {
+                    "conclusive": verdict.conclusive(),
+                    "ok": verdict.ok,
+                },
+                "captured_ops": sum(len(row) for row in doc["processes"]),
+                **_health(statuses),
+            }
+        finally:
+            await cluster.close()
+
+    return asyncio.run(body())
+
+
+def cell_clean(cell: Dict[str, Any]) -> List[str]:
+    """Blemishes that void a cell's measurement."""
+    problems = []
+    if cell["errors"]:
+        problems.append(f"{cell['errors']} client errors")
+    if not cell["converged"]:
+        problems.append("did not converge")
+    if not cell["monitors_ok"]:
+        problems.append(f"{cell['violations']} monitor violations")
+    if cell.get("ring_spills"):
+        problems.append(f"{cell['ring_spills']} ring spills")
+    ccv = cell.get("ccv")
+    if ccv is not None and not (ccv["conclusive"] and ccv["ok"]):
+        problems.append(f"CCv verdict {ccv}")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Sweep + report
+# ----------------------------------------------------------------------
+def geometric_mean(values: List[float]) -> float:
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values)) if values else 0.0
+
+
+def run_sweep(args) -> Dict[str, Any]:
+    sizes = (3,) if args.smoke else (3, 5)
+    reps = 1 if args.smoke else 2
+    sat_duration = 1.2 if args.smoke else 3.0
+    ref_duration = 2.5
+
+    next_port = [args.base_port]
+
+    def port_block() -> int:
+        block = next_port[0]
+        next_port[0] += PORT_STRIDE
+        return block
+
+    cells: List[Dict[str, Any]] = []
+    # interleaved: baseline and optimized alternate within every rep
+    for n in sizes:
+        for rep in range(reps):
+            for plane in ("baseline", "optimized"):
+                cell = saturation_cell(
+                    plane, n, port_block(), sat_duration, args.seed + rep
+                )
+                cell["rep"] = rep
+                cells.append(cell)
+                print(
+                    f"saturation n={n} rep={rep} {plane:>9}: "
+                    f"{cell['ops_per_sec']:>8.0f} op/s "
+                    f"p50={cell['latency']['p50_ms']}ms "
+                    f"p99={cell['latency']['p99_ms']}ms",
+                    file=sys.stderr,
+                )
+
+    reference: Dict[str, Dict[str, Any]] = {}
+    for plane in ("baseline", "optimized"):
+        cell = reference_cell(plane, port_block(), ref_duration, args.seed)
+        reference[plane] = cell
+        cells.append(cell)
+        print(
+            f"reference {plane:>9}: {cell['ops_per_sec']:>8.0f} op/s "
+            f"converged={cell['converged']} ccv={cell['ccv']} "
+            f"spills={cell.get('ring_spills', 0)}",
+            file=sys.stderr,
+        )
+
+    # aggregate ratios
+    sat_ratios = {}
+    for n in sizes:
+        base = [
+            c["ops_per_sec"]
+            for c in cells
+            if c["kind"] == "saturation"
+            and c["n"] == n
+            and c["plane"] == "baseline"
+        ]
+        opt = [
+            c["ops_per_sec"]
+            for c in cells
+            if c["kind"] == "saturation"
+            and c["n"] == n
+            and c["plane"] == "optimized"
+        ]
+        sat_ratios[str(n)] = round(
+            geometric_mean(opt) / geometric_mean(base), 2
+        )
+    ref_ratio = round(
+        reference["optimized"]["ops_per_sec"]
+        / reference["baseline"]["ops_per_sec"],
+        2,
+    )
+    return {
+        "benchmark": "live-service-plane",
+        "smoke": args.smoke,
+        "seed": args.seed,
+        "python": platform.python_version(),
+        "shape": {
+            "streams": STREAMS,
+            "k": K,
+            "sessions_per_node": SESSIONS,
+            "planes": {
+                name: {k: v for k, v in cfg.items()}
+                for name, cfg in PLANES.items()
+            },
+        },
+        "cells": cells,
+        "ratios": {
+            "saturation": sat_ratios,
+            "reference_aggregate": ref_ratio,
+        },
+    }
+
+
+def compare_to_baseline(
+    report: Dict[str, Any], baseline: Dict[str, Any]
+) -> List[str]:
+    """Verdict fields must match the committed report exactly; numbers
+    are informational."""
+    drift: List[str] = []
+
+    def verdict_key(cell: Dict[str, Any]):
+        return (
+            cell["kind"],
+            cell["plane"],
+            cell["n"],
+            cell.get("rep", 0),
+        )
+
+    committed = {verdict_key(c): c for c in baseline.get("cells", [])}
+    for cell in report["cells"]:
+        ref = committed.get(verdict_key(cell))
+        if ref is None:
+            continue
+        for field in ("converged", "monitors_ok"):
+            if cell[field] != ref[field]:
+                drift.append(
+                    f"{verdict_key(cell)}: {field} {cell[field]} "
+                    f"!= committed {ref[field]}"
+                )
+        if cell.get("ccv") != ref.get("ccv"):
+            drift.append(
+                f"{verdict_key(cell)}: ccv {cell.get('ccv')} "
+                f"!= committed {ref.get('ccv')}"
+            )
+        if bool(cell.get("ring_spills")) != bool(ref.get("ring_spills")):
+            drift.append(
+                f"{verdict_key(cell)}: ring_spills {cell.get('ring_spills')}"
+                f" vs committed {ref.get('ring_spills')}"
+            )
+    return drift
+
+
+def render_table(report: Dict[str, Any]) -> str:
+    lines = [
+        "live service plane: aggregate op/s, client-observed latency",
+        "",
+        f"{'cell':<26}{'plane':>10}{'op/s':>9}{'p50ms':>8}"
+        f"{'p95ms':>8}{'p99ms':>8}",
+    ]
+    for cell in report["cells"]:
+        label = f"{cell['kind']} n={cell['n']} rep={cell.get('rep', 0)}"
+        lat = cell["latency"]
+        lines.append(
+            f"{label:<26}{cell['plane']:>10}{cell['ops_per_sec']:>9.0f}"
+            f"{lat['p50_ms']:>8.1f}{lat['p95_ms']:>8.1f}"
+            f"{lat['p99_ms']:>8.1f}"
+        )
+    r = report["ratios"]
+    lines.append("")
+    lines.append(
+        f"saturation ratio (like-for-like): "
+        + ", ".join(f"n={n}: {v}x" for n, v in r["saturation"].items())
+    )
+    lines.append(
+        f"reference-scenario aggregate ratio: {r['reference_aggregate']}x"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="n=3 only, one rep, short cells (CI guard)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--base-port", type=int, default=BASE_PORT)
+    parser.add_argument(
+        "--min-ratio", type=float, default=None,
+        help="reference-aggregate floor (exit 2 below it); "
+        "default 10.0 full / 3.0 smoke",
+    )
+    parser.add_argument(
+        "--max-seconds", type=float, default=None,
+        help="fail (exit 2) when the sweep exceeds this wall-time",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="committed BENCH_service*.json to compare "
+        "(exit 1 on verdict drift)",
+    )
+    parser.add_argument("--out", default="BENCH_service.json")
+    args = parser.parse_args(argv)
+    min_ratio = args.min_ratio
+    if min_ratio is None:
+        min_ratio = 3.0 if args.smoke else 10.0
+
+    t_start = time.perf_counter()
+    report = run_sweep(args)
+    report["totals"] = {"wall": round(time.perf_counter() - t_start, 2)}
+
+    exit_code = 0
+    blemished = False
+    for cell in report["cells"]:
+        problems = cell_clean(cell)
+        if problems:
+            blemished = True
+            print(
+                f"BLEMISHED CELL {cell['kind']}/{cell['plane']}/n="
+                f"{cell['n']}: {'; '.join(problems)}",
+                file=sys.stderr,
+            )
+    if blemished:
+        exit_code = 2
+
+    ratio = report["ratios"]["reference_aggregate"]
+    if ratio < min_ratio:
+        print(
+            f"REFERENCE RATIO {ratio}x BELOW FLOOR {min_ratio}x",
+            file=sys.stderr,
+        )
+        exit_code = 2
+    if args.max_seconds and report["totals"]["wall"] > args.max_seconds:
+        print(
+            f"WALL {report['totals']['wall']}s EXCEEDS CAP "
+            f"{args.max_seconds}s",
+            file=sys.stderr,
+        )
+        exit_code = 2
+
+    if args.baseline:
+        with open(args.baseline) as fh:
+            committed = json.load(fh)
+        drift = compare_to_baseline(report, committed)
+        report["baseline_drift"] = drift
+        for line in drift:
+            print("VERDICT DRIFT:", line, file=sys.stderr)
+        if drift:
+            exit_code = 1
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    emit("service_throughput", render_table(report))
+    print(
+        f"total wall {report['totals']['wall']}s, reference ratio "
+        f"{ratio}x (floor {min_ratio}x), report -> {args.out}",
+        file=sys.stderr,
+    )
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -533,6 +533,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
             k=args.k,
             seed=args.seed,
             proxied=not args.no_proxy,
+            codec=args.codec,
+            coalesce=not args.no_coalesce,
+            tap=args.tap,
         )
         await cluster.start()
         ports = ", ".join(
@@ -581,6 +584,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
             streams=args.streams,
             k=args.k,
             seed=args.seed,
+            codec=args.codec,
+            coalesce=not args.no_coalesce,
+            tap=args.tap,
         )
         await node.start()
         print(
@@ -643,18 +649,44 @@ def cmd_load(args: argparse.Namespace) -> int:
             duration=args.duration,
             sessions_per_node=args.sessions,
             seed=args.seed,
+            window=args.window,
+            connections=args.connections,
+            codec=args.codec,
+            closed=args.closed,
         )
+        lat = report.latency_percentiles()
         print(
             f"issued {report.issued}, completed {report.completed} "
             f"({report.ops_per_sec:.0f} op/s), rejected {report.rejected}, "
             f"errors {report.errors}"
+        )
+        print(
+            f"latency p50={lat['p50_ms']:.2f}ms p95={lat['p95_ms']:.2f}ms "
+            f"p99={lat['p99_ms']:.2f}ms "
+            f"(window={args.window}, connections={args.connections}, "
+            f"codec={args.codec}, {'closed' if args.closed else 'open'} loop)"
         )
         if args.settle:
             await asyncio.sleep(args.settle)
         conv = await converged_windows(addrs, args.streams)
         print(f"replicas converged: {conv}")
         if args.capture:
-            doc = await capture_history(addrs, args.streams, args.k)
+            meta = {
+                "load": {
+                    "duration": args.duration,
+                    "sessions_per_node": args.sessions,
+                    "window": args.window,
+                    "connections": args.connections,
+                    "codec": args.codec,
+                    "closed": args.closed,
+                    "completed": report.completed,
+                    "ops_per_sec": round(report.ops_per_sec, 1),
+                    "latency": lat,
+                }
+            }
+            doc = await capture_history(
+                addrs, args.streams, args.k, meta=meta
+            )
             with open(args.capture, "w") as fh:
                 json.dump(doc, fh)
             ops = sum(len(row) for row in doc["processes"])
@@ -908,6 +940,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--duration", type=float, default=0.0,
         help="exit after this many seconds (default: serve until ^C)",
     )
+    p.add_argument(
+        "--codec", choices=("binary", "json"), default="binary",
+        help="peer wire codec (hello-negotiated; json is the compat "
+        "fallback — mixed clusters interoperate)",
+    )
+    p.add_argument(
+        "--no-coalesce", action="store_true",
+        help="send one write+drain per frame (the PR 9 pump) instead of "
+        "folding the outbound queue into batch container frames",
+    )
+    p.add_argument(
+        "--tap", choices=("ring", "sync"), default="ring",
+        help="observability tap: 'ring' defers monitor/recorder work to "
+        "a background drainer off the hot path; 'sync' is the inline "
+        "PR 9 behaviour",
+    )
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
@@ -937,6 +985,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--capture", metavar="FILE",
         help="write the cluster's recorded history as classify JSON",
+    )
+    p.add_argument(
+        "--window", type=int, default=1,
+        help="pipelining depth per connection (1 = lock-step)",
+    )
+    p.add_argument(
+        "--connections", type=int, default=1,
+        help="client connections per node (sessions share round-robin)",
+    )
+    p.add_argument(
+        "--closed", action="store_true",
+        help="closed-loop saturation drive (issue as fast as the window "
+        "admits) instead of Poisson arrivals",
+    )
+    p.add_argument(
+        "--codec", choices=("binary", "json"), default="json",
+        help="client wire codec (the server answers in kind)",
     )
     p.set_defaults(fn=cmd_load)
 

@@ -12,12 +12,16 @@ from .cluster import ClientSession, LiveCluster, client_call, port_layout
 from .load import LoadReport, capture_history, converged_windows, run_load
 from .node import ServiceNode, build_algorithm
 from .proxy import FaultProxy, apply_event, drive_schedule, load_fault_schedule
+from .tap import MonitorTap, RecorderTap, RingTap
 from .transport import AsyncioTransport, WallClock
 from .view import ViewManager
 
 __all__ = [
     "AsyncioTransport",
     "WallClock",
+    "RingTap",
+    "MonitorTap",
+    "RecorderTap",
     "ServiceNode",
     "build_algorithm",
     "ViewManager",

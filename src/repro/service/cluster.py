@@ -14,12 +14,13 @@ Port layout from ``base_port``: node ``i`` listens for peers at
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Dict, List, Optional, Tuple
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple, Union
 
 from . import wire
 from .node import ServiceNode
 from .proxy import FaultProxy
-from .transport import Address
+from .transport import Address, enable_nodelay
 
 HOST = "127.0.0.1"
 
@@ -53,9 +54,20 @@ class LiveCluster:
         seed: int = 0,
         proxied: bool = True,
         host: str = HOST,
+        codec: Union[str, Dict[int, str]] = wire.CODEC_BINARY,
+        coalesce: bool = True,
+        tap: str = "ring",
     ) -> None:
         self.n = n
         self.layout = port_layout(n, base_port, host=host, proxied=proxied)
+        # per-pid codec map supports mixed clusters (one JSON node among
+        # binary peers — the compat-fallback smoke test's shape)
+        if isinstance(codec, dict):
+            self.codecs = {
+                pid: codec.get(pid, wire.CODEC_BINARY) for pid in range(n)
+            }
+        else:
+            self.codecs = {pid: codec for pid in range(n)}
         self.proxies: Dict[int, FaultProxy] = {}
         if proxied:
             self.proxies = {
@@ -77,6 +89,9 @@ class LiveCluster:
                 streams=streams,
                 k=k,
                 seed=seed,
+                codec=self.codecs[pid],
+                coalesce=coalesce,
+                tap=tap,
             )
             for pid in range(n)
         ]
@@ -127,28 +142,70 @@ async def client_call(
 class ClientSession:
     """A multiplexed client connection: many in-flight requests over one
     socket, correlated by ``rid`` — thousands of open-loop sessions can
-    share one connection per node."""
+    share one connection per node.
 
-    def __init__(self, addr: Address) -> None:
+    ``window`` is the pipelining depth: with ``window=1`` every call is
+    lock-step (write, drain, await the reply — byte-for-byte the PR 9
+    client, the A/B baseline), while ``window>1`` lets that many calls
+    ride in flight at once and routes their requests through a small
+    send pump that folds everything queued into one framing-level
+    batch container per write+drain cycle — the
+    server replies with one container per request batch, so a full
+    window costs two writes total instead of ``2·window``.  ``codec``
+    picks the wire encoding for this session's frames; the server
+    always answers in the request's codec.
+    """
+
+    #: most requests folded into one batch container
+    BATCH_MAX = 64
+
+    def __init__(
+        self,
+        addr: Address,
+        codec: str = wire.CODEC_JSON,
+        window: int = 1,
+    ) -> None:
+        if codec not in wire.CODECS:
+            raise ValueError(f"unknown codec {codec!r}")
+        if window < 1:
+            raise ValueError("window must be >= 1")
         self.addr = addr
+        self.codec = codec
+        self.window = window
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._pending: Dict[int, asyncio.Future] = {}
         self._next_rid = 0
         self._pump: Optional[asyncio.Task] = None
+        self._sendq: Deque[Dict[str, Any]] = deque()
+        self._send_wake: Optional[asyncio.Event] = None
+        self._send_task: Optional[asyncio.Task] = None
+        self._sem: Optional[asyncio.Semaphore] = None
 
     async def connect(self) -> None:
         host, port = self.addr
         self._reader, self._writer = await asyncio.open_connection(host, port)
+        enable_nodelay(self._writer)
         self._pump = asyncio.ensure_future(self._read_loop())
+        self._sem = asyncio.Semaphore(self.window)
+        if self.window > 1:
+            self._send_wake = asyncio.Event()
+            self._send_task = asyncio.ensure_future(self._send_loop())
+
+    def _resolve(self, frame: Dict[str, Any]) -> None:
+        fut = self._pending.pop(frame.get("rid"), None)
+        if fut is not None and not fut.done():
+            fut.set_result(frame)
 
     async def _read_loop(self) -> None:
         try:
             while True:
-                frame = await wire.read_frame(self._reader)
-                fut = self._pending.pop(frame.get("rid"), None)
-                if fut is not None and not fut.done():
-                    fut.set_result(frame)
+                body = await wire.read_body(self._reader)
+                if wire.is_batch(body):
+                    for sub in wire.split_batch(body):
+                        self._resolve(wire.decode(sub))
+                else:
+                    self._resolve(wire.decode(body))
         except (
             OSError,
             asyncio.IncompleteReadError,
@@ -160,20 +217,54 @@ class ClientSession:
                     fut.set_exception(ConnectionError("session closed"))
             self._pending.clear()
 
+    async def _send_loop(self) -> None:
+        wake = self._send_wake
+        queue = self._sendq
+        try:
+            while True:
+                if not queue:
+                    wake.clear()
+                    await wake.wait()
+                    continue
+                if len(queue) == 1:
+                    wire.write_frame(self._writer, queue.popleft(), self.codec)
+                else:
+                    bodies = []
+                    while queue and len(bodies) < self.BATCH_MAX:
+                        bodies.append(
+                            wire.encode_body(queue.popleft(), self.codec)
+                        )
+                    self._writer.write(wire.encode_batch(bodies))
+                await self._writer.drain()
+        except (OSError, ConnectionResetError):
+            pass
+        except asyncio.CancelledError:
+            pass
+
     async def call(
         self, request: Dict[str, Any], timeout: float = 10.0
     ) -> Dict[str, Any]:
-        rid = self._next_rid
-        self._next_rid += 1
-        request = dict(request)
-        request["rid"] = rid
-        fut = asyncio.get_event_loop().create_future()
-        self._pending[rid] = fut
-        wire.write_frame(self._writer, request)
-        await self._writer.drain()
-        return await asyncio.wait_for(fut, timeout)
+        await self._sem.acquire()
+        try:
+            rid = self._next_rid
+            self._next_rid += 1
+            request = dict(request)
+            request["rid"] = rid
+            fut = asyncio.get_event_loop().create_future()
+            self._pending[rid] = fut
+            if self._send_task is not None:
+                self._sendq.append(request)
+                self._send_wake.set()
+            else:
+                wire.write_frame(self._writer, request, self.codec)
+                await self._writer.drain()
+            return await asyncio.wait_for(fut, timeout)
+        finally:
+            self._sem.release()
 
     async def close(self) -> None:
+        if self._send_task is not None:
+            self._send_task.cancel()
         if self._pump is not None:
             self._pump.cancel()
         if self._writer is not None:

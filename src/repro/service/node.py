@@ -47,6 +47,7 @@ from ..core.operations import BOTTOM, HIDDEN, Invocation
 from ..runtime.monitors import RuntimeMonitor
 from ..runtime.recorder import HistoryRecorder
 from . import wire
+from .tap import MonitorTap, RecorderTap, RingTap
 from .transport import Address, AsyncioTransport, WallClock
 from .view import ViewManager
 
@@ -98,18 +99,37 @@ class ServiceNode:
         streams: int = 2,
         k: int = 2,
         seed: int = 0,
+        codec: str = wire.CODEC_BINARY,
+        coalesce: bool = True,
+        tap: str = "ring",
     ) -> None:
+        if tap not in ("ring", "sync"):
+            raise ValueError(f"unknown tap mode {tap!r} (ring|sync)")
         self.my_pid = my_pid
         self.n = len(addrs)
         self.client_addr = client_addr
         self.algorithm_key = algorithm
+        self.codec = codec
+        self.tap_mode = tap
         self.clock = WallClock(seed)
         self.transport = AsyncioTransport(
-            my_pid, addrs, my_addr=my_addr, seed=seed, clock=self.clock
+            my_pid,
+            addrs,
+            my_addr=my_addr,
+            seed=seed,
+            clock=self.clock,
+            codec=codec,
+            coalesce=coalesce,
         )
+        #: the real recorder (reads always come from here)
         self.recorder = HistoryRecorder(self.n)
+        self.tap: Optional[RingTap] = RingTap() if tap == "ring" else None
+        # the algorithm records through the tap facade when off-path
+        algo_recorder: Any = self.recorder
+        if self.tap is not None:
+            algo_recorder = RecorderTap(self.tap, self.recorder)
         self.entry, self.algorithm = build_algorithm(
-            algorithm, self.clock, self.transport, self.recorder, streams, k
+            algorithm, self.clock, self.transport, algo_recorder, streams, k
         )
         self.view = ViewManager(
             my_pid,
@@ -120,11 +140,15 @@ class ServiceNode:
         )
         self.transport.crash_oracle = self.view.is_down
         self.transport.control_handler = self._on_control
+        #: the real monitor (verdict reads always come from here)
         self.monitor: Optional[RuntimeMonitor] = None
         broadcast = getattr(self.algorithm, "broadcast", None)
         if broadcast is not None and hasattr(broadcast, "monitor"):
             self.monitor = RuntimeMonitor(self.n, sim=self.clock)
-            broadcast.monitor = self.monitor
+            if self.tap is not None:
+                broadcast.monitor = MonitorTap(self.tap, self.monitor)
+            else:
+                broadcast.monitor = self.monitor
         #: freshest digest row received per peer (feeds the supervised
         #: resync verification check)
         self._peer_frontier: Dict[int, List[int]] = {}
@@ -285,13 +309,40 @@ class ServiceNode:
     async def _serve_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        """One client connection.  Requests may arrive singly or inside a
+        framing-level batch container (the pipelined client's shape); a
+        batch's replies return as one container, so a full client window
+        costs one reply write + one drain.  Replies go
+        back in the codec the request arrived in, so a JSON-only client
+        (or ``repro status`` against a binary node) just works.  Every
+        write path awaits ``drain()`` — a slow or stalled reader blocks
+        its own connection's coroutine instead of growing the transport
+        buffer without bound (regression-tested in
+        ``tests/test_service_perf.py``)."""
         try:
             while True:
-                req = await wire.read_frame(reader)
-                reply = await self._handle_client(req, writer)
+                body = await wire.read_body(reader)
+                if wire.is_batch(body):
+                    reply_bodies = []
+                    for sub in wire.split_batch(body):
+                        req = wire.decode(sub)
+                        codec = wire.body_codec(sub)
+                        reply = await self._handle_client(req, writer, codec)
+                        if reply is not None:
+                            reply["rid"] = req.get("rid")
+                            reply_bodies.append(
+                                wire.encode_body(reply, codec)
+                            )
+                    if reply_bodies:
+                        writer.write(wire.encode_batch(reply_bodies))
+                        await writer.drain()
+                    continue
+                req = wire.decode(body)
+                codec = wire.body_codec(body)
+                reply = await self._handle_client(req, writer, codec)
                 if reply is not None:
                     reply["rid"] = req.get("rid")
-                    wire.write_frame(writer, reply)
+                    wire.write_frame(writer, reply, codec)
                     await writer.drain()
         except (
             OSError,
@@ -306,7 +357,10 @@ class ServiceNode:
             writer.close()
 
     async def _handle_client(
-        self, req: Dict[str, Any], writer: asyncio.StreamWriter
+        self,
+        req: Dict[str, Any],
+        writer: asyncio.StreamWriter,
+        codec: str = wire.CODEC_JSON,
     ) -> Optional[Dict[str, Any]]:
         cmd = req.get("cmd")
         if cmd == "ping":
@@ -333,6 +387,8 @@ class ServiceNode:
                 return {"ok": False, "error": "no window observability"}
             return {"ok": True, "value": window(self.my_pid, int(req["x"]))}
         if cmd == "ops":
+            if self.tap is not None:
+                self.tap.flush()
             return {"ok": True, "count": self.recorder.count()}
         if cmd == "history":
             return {"ok": True, "ops": self._history_row()}
@@ -343,7 +399,7 @@ class ServiceNode:
             while not self._closed:
                 frame = {"ok": True, "status": self.status(0)}
                 frame["rid"] = req.get("rid")
-                wire.write_frame(writer, frame)
+                wire.write_frame(writer, frame, codec)
                 await writer.drain()
                 await asyncio.sleep(interval)
             return None
@@ -357,6 +413,8 @@ class ServiceNode:
 
     def _history_row(self) -> List[Dict[str, Any]]:
         """This node's recorded operations in classify-JSON op format."""
+        if self.tap is not None:
+            self.tap.flush()
         ops = []
         for rec in self.recorder.rows[self.my_pid]:
             out = rec.output
@@ -378,6 +436,8 @@ class ServiceNode:
         return ops
 
     def status(self, since: int = 0) -> Dict[str, Any]:
+        if self.tap is not None:
+            self.tap.flush()
         stats = self.transport.stats
         doc: Dict[str, Any] = {
             "pid": self.my_pid,
@@ -394,7 +454,14 @@ class ServiceNode:
                 "dropped_to_crashed": stats.dropped_to_crashed,
                 "payload_bytes": stats.payload_bytes,
             },
+            "wire": {
+                "codec": self.codec,
+                "coalesce": self.transport.coalesce,
+                **self.transport.wire_stats,
+            },
         }
+        if self.tap is not None:
+            doc["tap"] = self.tap.stats()
         b = getattr(self.algorithm, "broadcast", None)
         if b is not None:
             doc["broadcast"] = {
@@ -422,6 +489,8 @@ class ServiceNode:
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
+        if self.tap is not None:
+            self.tap.start()
         await self.transport.start()
         host, port = self.client_addr
         self._server = await asyncio.start_server(
@@ -440,3 +509,5 @@ class ServiceNode:
             self._server.close()
             await self._server.wait_closed()
         await self.transport.close()
+        if self.tap is not None:
+            self.tap.close()

@@ -38,7 +38,7 @@ import random
 from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from . import wire
-from .transport import Address
+from .transport import Address, enable_nodelay
 
 
 class FaultProxy:
@@ -126,6 +126,7 @@ class FaultProxy:
     # ------------------------------------------------------------------
     def _flush_held(self) -> None:
         held, self._held = self._held, []
+        touched = set()
         for src, raw in held:
             if self._separated(src):
                 self._held.append((src, raw))
@@ -133,12 +134,27 @@ class FaultProxy:
             writer = self._upstreams.get(src)
             if writer is not None and not writer.is_closing():
                 writer.write(raw)
+                touched.add(writer)
                 self.stats["forwarded"] += 1
             else:
                 # the connection died while its frames were held; the
                 # broadcast layers' anti-entropy repairs the gap, like a
                 # real middlebox dropping a dead flow's buffer
                 pass
+        # a long partition can flush many megabytes at once; schedule a
+        # drain per touched upstream so the burst can't grow the writer
+        # buffer unboundedly (this runs from synchronous dial mutations,
+        # so the awaits happen on a follow-up task, order preserved —
+        # StreamWriter buffers FIFO and later pump writes append behind)
+        for writer in touched:
+            asyncio.ensure_future(self._drain_writer(writer))
+
+    @staticmethod
+    async def _drain_writer(writer: asyncio.StreamWriter) -> None:
+        try:
+            await writer.drain()
+        except (OSError, ConnectionResetError):
+            pass
 
     async def _serve_conn(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -148,11 +164,13 @@ class FaultProxy:
         up_writer: Optional[asyncio.StreamWriter] = None
         src = None
         try:
+            enable_nodelay(writer)
             hello_raw = await wire.read_raw_frame(reader)
             hello = wire.decode(hello_raw[4:])
             src = hello.get("src") if isinstance(hello, dict) else None
             host, port = self.upstream
             up_reader, up_writer = await asyncio.open_connection(host, port)
+            enable_nodelay(up_writer)
             up_writer.write(hello_raw)  # hello is never lost or held
             await up_writer.drain()
             if src is not None:

@@ -1,0 +1,232 @@
+"""Off-path observability tap: a bounded ring buffer between the hot
+path and the monitors.
+
+PR 9 fed every delivery straight into the
+:class:`~repro.runtime.monitors.RuntimeMonitor` and every completed
+client operation straight into the
+:class:`~repro.runtime.recorder.HistoryRecorder` — synchronous Python
+work inside the asyncio hot path, charged to every frame and every
+client reply.  PR 10 moves both behind a :class:`RingTap`: the hot path
+appends a ``(sink_method, args)`` event to a bounded ring (one deque
+append) and returns; a background task drains the ring and applies the
+events to the real monitor/recorder **in append order**, which is
+exactly the order the synchronous calls would have run in — so the
+monitor's verdicts and the recorder's rows are identical to the
+synchronous tap's on the same event stream (pinned by
+``tests/test_service_perf.py``), merely later.
+
+Boundedness without lying: when the ring reaches capacity the producer
+drains it *inline* (the tap degrades to the synchronous behaviour under
+sustained overload instead of dropping events — a dropped delivery
+would silently blind the double-apply and causal-order invariants).
+``spills`` counts how often that happened; a healthy run shows 0.
+
+Reads (status, history capture) call :meth:`RingTap.flush` first, so
+observers never see a half-drained tail.
+
+Two snapshotting details make deferral sound:
+
+- the broadcast layer passes the monitor its **live** frontier rows on
+  GC sweeps; :class:`MonitorTap` copies them at enqueue time, because by
+  drain time the rows have moved on;
+- violation timestamps are taken at drain time (the monitor asks its
+  clock when the event is applied), so they can trail the hot-path
+  instant by the ring residency — verdict content (kind, pid, detail)
+  is unaffected.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any, Callable, Deque, Optional, Tuple
+
+from ..core.operations import Invocation
+from ..runtime.monitors import RuntimeMonitor
+from ..runtime.recorder import HistoryRecorder, OpRecord
+
+
+class RingTap:
+    """Bounded FIFO event ring drained by a background asyncio task."""
+
+    #: events held before the producer drains inline (spill)
+    CAPACITY = 1 << 15
+
+    def __init__(self, capacity: int = CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("ring capacity must be positive")
+        self.capacity = capacity
+        self._ring: Deque[Tuple[Callable[..., Any], Tuple[Any, ...]]] = deque()
+        self._wake: Optional[asyncio.Event] = None
+        self._task: Optional[asyncio.Task] = None
+        self._closed = False
+        # observability
+        self.pushed = 0
+        self.drained = 0
+        self.spills = 0
+        self.max_depth = 0
+
+    # -- producer side (synchronous, hot path) --------------------------
+    def push(self, fn: Callable[..., Any], *args: Any) -> None:
+        ring = self._ring
+        ring.append((fn, args))
+        self.pushed += 1
+        depth = len(ring)
+        if depth > self.max_depth:
+            self.max_depth = depth
+        if depth >= self.capacity:
+            # full: drain inline rather than drop — order preserved,
+            # verdicts unaffected, hot path momentarily synchronous
+            self.spills += 1
+            self.flush()
+        elif self._wake is not None:
+            self._wake.set()
+
+    # -- consumer side ---------------------------------------------------
+    def flush(self) -> None:
+        """Apply every buffered event now (synchronously, in order)."""
+        ring = self._ring
+        while ring:
+            fn, args = ring.popleft()
+            self.drained += 1
+            fn(*args)
+
+    async def _run(self) -> None:
+        wake = self._wake
+        assert wake is not None
+        while not self._closed:
+            await wake.wait()
+            wake.clear()
+            self.flush()
+
+    def start(self) -> None:
+        """Begin background draining on the running event loop."""
+        if self._task is not None:
+            return
+        self._wake = asyncio.Event()
+        if self._ring:
+            self._wake.set()
+        self._task = asyncio.ensure_future(self._run())
+
+    def close(self) -> None:
+        """Stop the drainer and apply whatever is still buffered."""
+        self._closed = True
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+        self.flush()
+
+    def stats(self) -> dict:
+        return {
+            "pushed": self.pushed,
+            "drained": self.drained,
+            "depth": len(self._ring),
+            "max_depth": self.max_depth,
+            "spills": self.spills,
+        }
+
+
+class MonitorTap:
+    """RuntimeMonitor facade that defers every hook through a RingTap.
+
+    Mutable arguments (the GC sweep's live frontier rows, vector
+    stamps) are snapshotted at enqueue time; immutable ones (pids,
+    message-id tuples, counts) pass through.
+    """
+
+    def __init__(self, tap: RingTap, sink: RuntimeMonitor) -> None:
+        self._tap = tap
+        self.sink = sink
+
+    # pass-through observability used by the service node
+    @property
+    def ok(self) -> bool:
+        return self.sink.ok
+
+    @property
+    def violations(self):
+        return self.sink.violations
+
+    @property
+    def dropped(self) -> int:
+        return self.sink.dropped
+
+    # deferred hooks
+    def on_deliver(self, pid: int, mid: Any) -> None:
+        self._tap.push(self.sink.on_deliver, pid, mid)
+
+    def on_fifo_deliver(self, pid: int, origin: int, seq: int) -> None:
+        self._tap.push(self.sink.on_fifo_deliver, pid, origin, seq)
+
+    def on_causal_deliver(
+        self, pid: int, mid: Any, origin: int, stamp: Any
+    ) -> None:
+        self._tap.push(
+            self.sink.on_causal_deliver, pid, mid, origin, tuple(stamp)
+        )
+
+    def on_gc(self, stable: Any, frontiers: Any, crashed: Any) -> None:
+        self._tap.push(
+            self.sink.on_gc,
+            list(stable),
+            [list(row) for row in frontiers],
+            set(crashed),
+        )
+
+    def on_pruned_gap(self, target: int, origin: int, seq: int) -> None:
+        self._tap.push(self.sink.on_pruned_gap, target, origin, seq)
+
+    def on_resync_stranded(self, target: int, attempts: int) -> None:
+        self._tap.push(self.sink.on_resync_stranded, target, attempts)
+
+    def on_pull_stranded(self, pid: int, mid: Any, attempts: int) -> None:
+        self._tap.push(self.sink.on_pull_stranded, pid, mid, attempts)
+
+
+class RecorderTap:
+    """HistoryRecorder facade whose ``record`` defers through a RingTap.
+
+    The algorithms only ever call :meth:`record`; reads (rows, counts,
+    history assembly) go to the underlying sink — callers flush the tap
+    first (the service node does, on every observability request).
+    """
+
+    def __init__(self, tap: RingTap, sink: HistoryRecorder) -> None:
+        self._tap = tap
+        self.sink = sink
+        self.n = sink.n
+
+    def record(
+        self,
+        pid: int,
+        invocation: Invocation,
+        output: Any,
+        start: float,
+        end: float,
+    ) -> Optional[OpRecord]:
+        # args are immutable (Invocation is frozen, outputs are values):
+        # safe to defer without copying.  The OpRecord is created at
+        # drain time, so ``None`` is returned here — no caller of the
+        # live plane uses the return value.
+        self._tap.push(self.sink.record, pid, invocation, output, start, end)
+        return None
+
+    # delegated read/config surface
+    def subscribe(self, callback: Callable[[OpRecord], None]) -> None:
+        self.sink.subscribe(callback)
+
+    def unsubscribe(self, callback: Callable[[OpRecord], None]) -> None:
+        self.sink.unsubscribe(callback)
+
+    def mark_quiescent(self) -> None:
+        self._tap.push(self.sink.mark_quiescent)
+
+    @property
+    def rows(self):
+        return self.sink.rows
+
+    def count(self) -> int:
+        return self.sink.count()
+
+    def to_history(self):
+        return self.sink.to_history()

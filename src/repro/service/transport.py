@@ -2,12 +2,30 @@
 
 ``AsyncioTransport`` implements the transport contract the broadcast
 stack is written to (see ``repro/runtime/transport.py``) over real
-sockets: length-prefixed JSON frames, one long-lived outbound connection
-per peer with reconnect + exponential backoff, and per-peer outbound
-queues with a high-water mark that surfaces backpressure to the layer
-above (the service node pauses client intake while any queue is over the
-mark — a synchronous ``send`` cannot block, so the pressure is exposed
-as an awaitable instead).
+sockets: length-prefixed frames (binary codec by default, JSON as the
+negotiated-at-hello compat fallback — see ``repro.service.wire``), one
+long-lived outbound connection per peer with reconnect + exponential
+backoff, and per-peer outbound queues with a high-water mark that
+surfaces backpressure to the layer above (the service node pauses
+client intake while any queue is over the mark — a synchronous ``send``
+cannot block, so the pressure is exposed as an awaitable instead).
+
+Hot path (PR 10).  The per-peer sender used to make one ``write`` + one
+``await drain()`` per frame; under load that is one syscall, one flow
+-control future and one codec pass *per broadcast per peer*.  Two
+changes: every logical frame is now **encoded exactly once**, at
+enqueue time (a multicast shares the one encoding across all
+destination queues), and the pump drains its whole queue per cycle —
+up to :attr:`BATCH_MAX` queued bodies fold into a single **batch
+container frame** (:func:`repro.service.wire.encode_batch`, pure bytes
+concatenation) — one length prefix, one write, one drain for the lot.
+``TCP_NODELAY`` is set on every connection so the single write leaves
+immediately.  The receiver unfolds containers in order, preserving
+per-link FIFO exactly.  The ``wire_stats`` counters (logical frames vs
+actual writes, batch sizes, bytes) quantify the coalescing and surface
+through ``repro status --json``.  ``coalesce=False`` restores the PR 9
+frame-at-a-time pump — the A/B baseline in
+``benchmarks/bench_service.py``.
 
 The crucial difference from the simulated plane: in the simulator one
 ``Network`` carries all ``n`` processes; live, each node owns one
@@ -23,6 +41,7 @@ pull timeouts run unmodified against wall-clock RPC timeouts.
 from __future__ import annotations
 
 import asyncio
+import socket
 from collections import deque
 from typing import Any, Callable, Deque, Dict, Optional, Tuple
 
@@ -31,6 +50,16 @@ from ..runtime.transport import Handler, Transport
 from . import wire
 
 Address = Tuple[str, int]
+
+
+def enable_nodelay(writer: asyncio.StreamWriter) -> None:
+    """Set TCP_NODELAY on a stream's socket (no-op for non-TCP)."""
+    sock = writer.get_extra_info("socket")
+    if sock is not None:
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except (OSError, ValueError):  # pragma: no cover - non-TCP socket
+            pass
 
 
 class WallClock:
@@ -97,6 +126,8 @@ class AsyncioTransport(Transport):
 
     #: outbound frames queued per peer above which :meth:`drained` blocks
     HIGH_WATER = 256
+    #: most queued frames folded into one batch container frame
+    BATCH_MAX = 64
     #: reconnect backoff: first retry after BACKOFF_BASE, doubling to cap
     BACKOFF_BASE = 0.2
     BACKOFF_CAP = 5.0
@@ -108,14 +139,33 @@ class AsyncioTransport(Transport):
         my_addr: Optional[Address] = None,
         seed: int = 0,
         clock: Optional[WallClock] = None,
+        codec: str = wire.CODEC_BINARY,
+        coalesce: bool = True,
     ) -> None:
+        if codec not in wire.CODECS:
+            raise ValueError(
+                f"unknown codec {codec!r}; known: {', '.join(wire.CODECS)}"
+            )
         self.my_pid = my_pid
         self.n = len(addrs)
         self.addrs = dict(addrs)
         self.my_addr = my_addr or addrs[my_pid]
         self.clock = clock or WallClock(seed)
         self._seed = seed
+        self.codec = codec
+        self.coalesce = coalesce
         self.stats = NetworkStats()
+        #: coalescing/codec observability, surfaced via `repro status`
+        self.wire_stats: Dict[str, int] = {
+            "frames_out": 0,  # logical frames handed to the pumps
+            "writes": 0,  # actual write+drain cycles
+            "bytes_out": 0,
+            "batches_out": 0,  # container frames sent
+            "batched_frames": 0,  # logical frames that rode a container
+            "max_batch": 0,
+            "frames_in": 0,
+            "batches_in": 0,
+        }
         self.handlers: Dict[int, Handler] = {}
         #: frames other than broadcast messages land here (digests,
         #: resync RPCs) — the service node registers this
@@ -127,6 +177,9 @@ class AsyncioTransport(Transport):
         #: membership oracle for *remote* pids (the view manager's
         #: is_down); None means "assume everyone up"
         self.crash_oracle: Optional[Callable[[int], bool]] = None
+        #: per-peer outbound queues of *encoded bodies* — each logical
+        #: frame is encoded once, and a multicast appends the same bytes
+        #: object to every queue (shared, never copied)
         self._queues: Dict[int, Deque[bytes]] = {
             pid: deque() for pid in addrs if pid != my_pid
         }
@@ -157,13 +210,13 @@ class AsyncioTransport(Transport):
         self._send_frame(dst, {"t": "msg", "src": src, "body": payload})
 
     def multicast(self, src: int, payload: Any) -> None:
-        frame = {"t": "msg", "src": src, "body": payload}
         if self.crashed_local:
             return
-        raw = wire.encode(frame)
-        for dst in range(self.n):
-            if dst != self.my_pid:
-                self._enqueue(dst, raw)
+        body = wire.encode_body(
+            {"t": "msg", "src": src, "body": payload}, self.codec
+        )
+        for dst in self._queues:
+            self._enqueue(dst, body)
 
     @property
     def now(self) -> float:
@@ -201,10 +254,11 @@ class AsyncioTransport(Transport):
     def multicast_control(self, body: Any) -> None:
         if self.crashed_local:
             return
-        raw = wire.encode({"t": "ctl", "src": self.my_pid, "body": body})
-        for dst in range(self.n):
-            if dst != self.my_pid:
-                self._enqueue(dst, raw)
+        raw = wire.encode_body(
+            {"t": "ctl", "src": self.my_pid, "body": body}, self.codec
+        )
+        for dst in self._queues:
+            self._enqueue(dst, raw)
 
     # ------------------------------------------------------------------
     # Outbound path
@@ -217,12 +271,12 @@ class AsyncioTransport(Transport):
             # them anyway by dispatching on the next loop tick
             self.clock.loop.call_soon(self._dispatch, frame)
             return
-        self._enqueue(dst, wire.encode(frame))
+        self._enqueue(dst, wire.encode_body(frame, self.codec))
 
-    def _enqueue(self, dst: int, raw: bytes) -> None:
+    def _enqueue(self, dst: int, body: bytes) -> None:
         self.stats.sent += 1
-        self.stats.payload_bytes += len(raw)
-        self._queues[dst].append(raw)
+        self.wire_stats["frames_out"] += 1
+        self._queues[dst].append(body)
         kick = self._kick.get(dst)
         if kick is not None:
             kick.set()
@@ -248,10 +302,50 @@ class AsyncioTransport(Transport):
                 if not fut.done():
                     fut.set_result(None)
 
+    #: stop folding a batch once it holds this many payload bytes — the
+    #: wire-level MAX_FRAME is far higher, but a smaller fold keeps the
+    #: per-write latency flat
+    BATCH_BYTES = 1 << 20
+
+    def _fold(self, queue: Deque[bytes]) -> bytes:
+        """Assemble the next pump cycle: everything queued (capped at
+        BATCH_MAX frames / BATCH_BYTES) as one wire write — a single
+        body framed as itself, more concatenated into one batch
+        container.  No codec work happens here; bodies were encoded at
+        enqueue."""
+        wstats = self.wire_stats
+        first = queue.popleft()
+        if not queue or not self.coalesce:
+            raw = wire.frame(first)
+        else:
+            bodies = [first]
+            total = len(first)
+            take = min(len(queue), self.BATCH_MAX - 1)
+            for _ in range(take):
+                if total >= self.BATCH_BYTES:
+                    break
+                body = queue.popleft()
+                bodies.append(body)
+                total += len(body)
+            if len(bodies) == 1:
+                raw = wire.frame(first)
+            else:
+                raw = wire.encode_batch(bodies)
+                wstats["batches_out"] += 1
+                wstats["batched_frames"] += len(bodies)
+                if len(bodies) > wstats["max_batch"]:
+                    wstats["max_batch"] = len(bodies)
+        wstats["writes"] += 1
+        wstats["bytes_out"] += len(raw)
+        self.stats.payload_bytes += len(raw)
+        return raw
+
     async def _writer(self, dst: int) -> None:
         """One peer's outbound pump: connect (with exponential backoff),
-        say hello, then drain the queue; on any connection error, loop
-        back to reconnect with the queue intact."""
+        say hello, then drain the queue — whole-queue folds into batch
+        container frames when coalescing (one write + one drain per
+        cycle); on any connection error, loop back to reconnect with the
+        queue intact."""
         backoff = self.BACKOFF_BASE
         queue = self._queues[dst]
         kick = self._kick[dst] = asyncio.Event()
@@ -264,10 +358,15 @@ class AsyncioTransport(Transport):
                 backoff = min(backoff * 2, self.BACKOFF_CAP)
                 continue
             backoff = self.BACKOFF_BASE
+            enable_nodelay(writer)
             self.connected[dst] = True
             try:
+                # hello is always JSON (the compat floor) and declares
+                # the codec the data frames will arrive in
                 writer.write(
-                    wire.encode({"t": "hello", "src": self.my_pid})
+                    wire.encode(
+                        {"t": "hello", "src": self.my_pid, "codec": self.codec}
+                    )
                 )
                 await writer.drain()
                 while not self._closed:
@@ -276,7 +375,8 @@ class AsyncioTransport(Transport):
                         self._wake_drain_waiters()
                         await kick.wait()
                         continue
-                    raw = queue.popleft()
+                    raw = self._fold(queue)
+                    self._wake_drain_waiters()
                     writer.write(raw)
                     await writer.drain()
             except (OSError, asyncio.IncompleteReadError):
@@ -292,12 +392,19 @@ class AsyncioTransport(Transport):
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
+            enable_nodelay(writer)
             hello = await wire.read_frame(reader)
             if not (isinstance(hello, dict) and hello.get("t") == "hello"):
                 return
             while True:
-                frame = await wire.read_frame(reader)
-                self._dispatch(frame)
+                body = await wire.read_body(reader)
+                if wire.is_batch(body):
+                    # unfold in order: per-link FIFO preserved
+                    self.wire_stats["batches_in"] += 1
+                    for sub in wire.split_batch(body):
+                        self._dispatch(wire.decode(sub))
+                else:
+                    self._dispatch(wire.decode(body))
         except (
             OSError,
             asyncio.IncompleteReadError,
@@ -316,6 +423,7 @@ class AsyncioTransport(Transport):
         if self.crashed_local:
             self.stats.dropped_to_crashed += 1
             return
+        self.wire_stats["frames_in"] += 1
         kind = frame.get("t")
         src = frame.get("src")
         if kind == "msg":

@@ -1,19 +1,53 @@
-"""Wire format of the live service plane: length-prefixed JSON frames.
+"""Wire format of the live service plane: length-prefixed frames, two
+self-describing body codecs.
 
-One frame is a 4-byte big-endian length followed by a UTF-8 JSON body.
-The runtime payloads are not plain JSON values — message ids are tuples
-used as dict keys and compared structurally, vector stamps are tuples,
-and LWW log entries nest tuples inside tuples — so the codec tags them:
+One frame is a 4-byte big-endian length followed by a body.  Two body
+codecs share the framing, distinguished by the body's first byte:
 
-- a tuple encodes as ``{"__t": [items]}`` and decodes back to a tuple;
-- a dict whose keys are not all strings (or that collides with a tag
-  key) encodes as ``{"__d": [[key, value], ...]}``.
+``json`` (the PR 9 format, kept as the compat fallback)
+    a UTF-8 JSON text.  The runtime payloads are not plain JSON values —
+    message ids are tuples used as dict keys and compared structurally,
+    vector stamps are tuples, and LWW log entries nest tuples inside
+    tuples — so the codec tags them: a tuple encodes as ``{"__t":
+    [items]}``, and a dict whose keys are not all strings (or that
+    collides with a tag key) as ``{"__d": [[key, value], ...]}``.
+    JSON text never starts with byte ``0xB1`` (not a valid first byte
+    of a JSON document), which is what makes the dispatch sound.
 
-Everything else is JSON-native.  ``json`` round-trips ints exactly and
-floats through ``repr``, so a decoded frame compares equal to what was
-sent — which the dedup frontiers and causal stamps rely on.  The framing
-helpers cap the body size so a corrupt length prefix cannot balloon a
-read.
+``binary`` (PR 10, the hot-path default)
+    a compact struct-packed tag-length-value encoding, pure stdlib.
+    Tuples, non-string dict keys and arbitrary nesting are native — no
+    recursive tag/untag walk, one pass per value — the common small
+    payloads (pids, sequence numbers, vector stamps) pack into one to
+    five bytes each, and the dict keys the runtime actually sends
+    (``src``, ``stamp``, ``payload``, …) intern to two bytes via a
+    frozen key table.  The body starts with the magic byte ``0xB1``.
+
+A third body shape rides above both codecs: the **batch container**
+(first byte ``0xB2``), a concatenation of length-prefixed sub-bodies.
+It belongs to the *framing* layer, not the codec — each sub-body is
+itself self-describing, so a container can carry either codec's frames
+(mixed, even).  That placement is what makes frame coalescing nearly
+free: the transport encodes each logical frame exactly once when it is
+queued (a multicast shares one encoding across all destinations), and
+folding a queue into a container is pure bytes concatenation — one
+length prefix, one write, one drain for up to
+:attr:`~repro.service.transport.AsyncioTransport.BATCH_MAX` frames.
+
+:func:`decode` dispatches on the first byte, so a receiver handles both
+codecs frame by frame with no negotiation state — which is what lets a
+mixed cluster (one JSON node among binary nodes) interoperate, and what
+keeps the :class:`~repro.service.proxy.FaultProxy`'s opaque
+``read_raw_frame`` forwarding codec-blind.  *Senders* declare their
+codec in the hello frame (which is always JSON so the oldest receiver
+can read it); a receiver that sees an unknown codec name simply relies
+on the per-frame dispatch.
+
+Both codecs round-trip ints exactly and floats bit-for-bit (JSON via
+``repr``, binary via IEEE-754 doubles), so a decoded frame compares
+equal to what was sent — which the dedup frontiers and causal stamps
+rely on.  The framing helpers cap the body size so a corrupt length
+prefix cannot balloon a read.
 """
 
 from __future__ import annotations
@@ -21,7 +55,7 @@ from __future__ import annotations
 import asyncio
 import json
 import struct
-from typing import Any
+from typing import Any, Callable, Dict, List, Tuple
 
 #: frame length prefix: unsigned 32-bit big-endian
 _LEN = struct.Struct(">I")
@@ -32,7 +66,27 @@ MAX_FRAME = 16 * 1024 * 1024
 
 _TAGS = ("__t", "__d")
 
+#: codec names (what hello frames carry)
+CODEC_JSON = "json"
+CODEC_BINARY = "binary"
+CODECS = (CODEC_JSON, CODEC_BINARY)
 
+#: first body byte of a binary frame; JSON text (ws, ``{[``, digits,
+#: ``"tfn-``) can never start with it
+MAGIC_BINARY = 0xB1
+
+#: first body byte of a batch container frame: a concatenation of
+#: length-prefixed sub-bodies, each itself self-describing (either
+#: codec — the container is codec-neutral).  Folding a queue into a
+#: container is pure bytes concatenation: the sub-bodies were encoded
+#: once, when first queued, and a multicast shares one encoding across
+#: every peer.
+MAGIC_BATCH = 0xB2
+
+
+# ----------------------------------------------------------------------
+# JSON codec (compat fallback)
+# ----------------------------------------------------------------------
 def _tag(obj: Any) -> Any:
     if isinstance(obj, tuple):
         return {"__t": [_tag(v) for v in obj]}
@@ -59,39 +113,396 @@ def _untag(obj: Any) -> Any:
     return obj
 
 
-def encode(obj: Any) -> bytes:
-    """Serialize one frame (length prefix included)."""
-    body = json.dumps(
+def _encode_json(obj: Any) -> bytes:
+    return json.dumps(
         _tag(obj), separators=(",", ":"), ensure_ascii=False
     ).encode("utf-8")
+
+
+# ----------------------------------------------------------------------
+# Binary codec (tag-length-value, struct-packed)
+# ----------------------------------------------------------------------
+# value tags; "short" container/string variants carry a 1-byte length,
+# the long variants a 4-byte one — runtime payloads are overwhelmingly
+# small, so the common case costs two bytes of overhead per value
+_T_NONE = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_INT8 = 0x03  # signed 8-bit
+_T_INT32 = 0x04  # signed 32-bit
+_T_INT64 = 0x05  # signed 64-bit
+_T_INTBIG = 0x06  # 4-byte length + signed big-endian bytes
+_T_FLOAT = 0x07  # IEEE-754 double
+_T_STR8 = 0x08
+_T_STR32 = 0x09
+_T_BYTES8 = 0x0A
+_T_BYTES32 = 0x0B
+_T_LIST8 = 0x0C
+_T_LIST32 = 0x0D
+_T_TUPLE8 = 0x0E
+_T_TUPLE32 = 0x0F
+_T_DICT8 = 0x10
+_T_DICT32 = 0x11
+_T_KEY = 0x12  # 1-byte index into the shared key table
+
+#: the dict keys the runtime actually sends, interned to 2 bytes each —
+#: a frozen wire-protocol table (append-only: changing an index breaks
+#: decode of in-flight frames across versions, so new keys go at the
+#: end).  Unknown keys fall back to ordinary string encoding.
+_KEYS = (
+    "t", "src", "body", "kind", "payload", "origin", "id", "mid",
+    "local_id", "stamp", "seq", "pull", "ids", "adv", "op",
+    "invocation", "state", "w", "r", "cmd", "rid", "ok", "x", "v",
+    "value", "frontier", "spill", "target", "hb", "error", "count",
+    "ops", "codec", "status", "since", "interval", "method", "args",
+    "output", "start", "end",
+)
+_KEY_IDX = {key: i for i, key in enumerate(_KEYS)}
+
+_I8 = struct.Struct(">b")
+_I32 = struct.Struct(">i")
+_I64 = struct.Struct(">q")
+_U32 = struct.Struct(">I")
+_F64 = struct.Struct(">d")
+
+#: precomputed 2-byte encodings for the hottest tags — small ints
+#: (pids, sequence numbers, vector-stamp entries) and interned keys —
+#: turning the common case into one dict/list lookup + one ``+=``
+_INT8_ENC = tuple(
+    bytes((_T_INT8, value & 0xFF)) for value in range(-128, 128)
+)
+_KEY_ENC = {key: bytes((_T_KEY, i)) for i, key in enumerate(_KEYS)}
+
+
+def _enc_value(obj: Any, out: bytearray) -> None:
+    kind = obj.__class__
+    if kind is int:
+        if -128 <= obj <= 127:
+            out += _INT8_ENC[obj + 128]
+        elif -2147483648 <= obj <= 2147483647:
+            out.append(_T_INT32)
+            out += _I32.pack(obj)
+        elif -(2**63) <= obj < 2**63:
+            out.append(_T_INT64)
+            out += _I64.pack(obj)
+        else:
+            raw = obj.to_bytes((obj.bit_length() + 8) // 8, "big", signed=True)
+            out.append(_T_INTBIG)
+            out += _U32.pack(len(raw))
+            out += raw
+    elif kind is str:
+        raw = obj.encode("utf-8")
+        size = len(raw)
+        if size <= 255:
+            out.append(_T_STR8)
+            out.append(size)
+        else:
+            out.append(_T_STR32)
+            out += _U32.pack(size)
+        out += raw
+    elif kind is dict:
+        size = len(obj)
+        if size <= 255:
+            out.append(_T_DICT8)
+            out.append(size)
+        else:
+            out.append(_T_DICT32)
+            out += _U32.pack(size)
+        for key, value in obj.items():
+            enc = _KEY_ENC.get(key) if key.__class__ is str else None
+            if enc is not None:
+                out += enc
+            else:
+                _enc_value(key, out)
+            _enc_value(value, out)
+    elif kind is list or kind is tuple:
+        size = len(obj)
+        if kind is list:
+            short, wide = _T_LIST8, _T_LIST32
+        else:
+            short, wide = _T_TUPLE8, _T_TUPLE32
+        if size <= 255:
+            out.append(short)
+            out.append(size)
+        else:
+            out.append(wide)
+            out += _U32.pack(size)
+        for value in obj:
+            _enc_value(value, out)
+    elif obj is None:
+        out.append(_T_NONE)
+    elif obj is True:
+        out.append(_T_TRUE)
+    elif obj is False:
+        out.append(_T_FALSE)
+    elif kind is float:
+        out.append(_T_FLOAT)
+        out += _F64.pack(obj)
+    elif isinstance(obj, (bytes, bytearray)):
+        size = len(obj)
+        if size <= 255:
+            out.append(_T_BYTES8)
+            out.append(size)
+        else:
+            out.append(_T_BYTES32)
+            out += _U32.pack(size)
+        out += obj
+    elif isinstance(obj, (int, float, str, list, tuple, dict)):
+        # subclasses (e.g. IntEnum) encode as their base value
+        base: Any
+        if isinstance(obj, bool):
+            base = bool(obj)
+        elif isinstance(obj, int):
+            base = int(obj)
+        elif isinstance(obj, float):
+            base = float(obj)
+        elif isinstance(obj, str):
+            base = str(obj)
+        elif isinstance(obj, tuple):
+            base = tuple(obj)
+        elif isinstance(obj, list):
+            base = list(obj)
+        else:
+            base = dict(obj)
+        _enc_value(base, out)
+    else:
+        raise TypeError(
+            f"binary codec cannot encode {type(obj).__name__!r}"
+        )
+
+
+def _encode_binary(obj: Any) -> bytes:
+    out = bytearray((MAGIC_BINARY,))
+    _enc_value(obj, out)
+    return bytes(out)
+
+
+def _dec_value(buf: bytes, pos: int) -> Tuple[Any, int]:
+    tag = buf[pos]
+    pos += 1
+    if tag == _T_INT8:
+        value = buf[pos]
+        return (value - 256 if value > 127 else value), pos + 1
+    if tag == _T_KEY:
+        return _KEYS[buf[pos]], pos + 1
+    if tag == _T_STR8:
+        size = buf[pos]
+        pos += 1
+        return buf[pos : pos + size].decode("utf-8"), pos + size
+    if tag == _T_DICT8 or tag == _T_DICT32:
+        if tag == _T_DICT8:
+            size = buf[pos]
+            pos += 1
+        else:
+            size = _U32.unpack_from(buf, pos)[0]
+            pos += 4
+        result: Dict[Any, Any] = {}
+        for _ in range(size):
+            key, pos = _dec_value(buf, pos)
+            value, pos = _dec_value(buf, pos)
+            result[key] = value
+        return result, pos
+    if tag == _T_LIST8 or tag == _T_LIST32 or tag == _T_TUPLE8 or tag == _T_TUPLE32:
+        if tag == _T_LIST8 or tag == _T_TUPLE8:
+            size = buf[pos]
+            pos += 1
+        else:
+            size = _U32.unpack_from(buf, pos)[0]
+            pos += 4
+        items: List[Any] = []
+        for _ in range(size):
+            value, pos = _dec_value(buf, pos)
+            items.append(value)
+        if tag == _T_TUPLE8 or tag == _T_TUPLE32:
+            return tuple(items), pos
+        return items, pos
+    if tag == _T_INT32:
+        return _I32.unpack_from(buf, pos)[0], pos + 4
+    if tag == _T_INT64:
+        return _I64.unpack_from(buf, pos)[0], pos + 8
+    if tag == _T_FLOAT:
+        return _F64.unpack_from(buf, pos)[0], pos + 8
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_STR32:
+        size = _U32.unpack_from(buf, pos)[0]
+        pos += 4
+        return buf[pos : pos + size].decode("utf-8"), pos + size
+    if tag == _T_BYTES8:
+        size = buf[pos]
+        pos += 1
+        return bytes(buf[pos : pos + size]), pos + size
+    if tag == _T_BYTES32:
+        size = _U32.unpack_from(buf, pos)[0]
+        pos += 4
+        return bytes(buf[pos : pos + size]), pos + size
+    if tag == _T_INTBIG:
+        size = _U32.unpack_from(buf, pos)[0]
+        pos += 4
+        return (
+            int.from_bytes(buf[pos : pos + size], "big", signed=True),
+            pos + size,
+        )
+    raise ValueError(f"binary codec: unknown tag 0x{tag:02x} at {pos - 1}")
+
+
+def _decode_binary(body: bytes) -> Any:
+    value, pos = _dec_value(body, 1)
+    if pos != len(body):
+        raise ValueError(
+            f"binary codec: {len(body) - pos} trailing bytes after value"
+        )
+    return value
+
+
+# ----------------------------------------------------------------------
+# Public frame API
+# ----------------------------------------------------------------------
+_ENCODERS: Dict[str, Callable[[Any], bytes]] = {
+    CODEC_JSON: _encode_json,
+    CODEC_BINARY: _encode_binary,
+}
+
+
+def encode_body(obj: Any, codec: str = CODEC_JSON) -> bytes:
+    """Serialize one frame body (no length prefix) in ``codec``."""
+    try:
+        return _ENCODERS[codec](obj)
+    except KeyError:
+        raise ValueError(
+            f"unknown codec {codec!r}; known: {', '.join(CODECS)}"
+        ) from None
+
+
+def frame(body: bytes) -> bytes:
+    """Length-prefix an already-encoded body into one wire frame."""
     if len(body) > MAX_FRAME:
         raise ValueError(f"frame too large: {len(body)} bytes")
     return _LEN.pack(len(body)) + body
 
 
+def encode(obj: Any, codec: str = CODEC_JSON) -> bytes:
+    """Serialize one frame (length prefix included)."""
+    return frame(encode_body(obj, codec))
+
+
+def body_codec(body: bytes) -> str:
+    """Which codec a frame body is in (first-byte dispatch)."""
+    if body and body[0] == MAGIC_BINARY:
+        return CODEC_BINARY
+    return CODEC_JSON
+
+
+# ----------------------------------------------------------------------
+# Batch containers (framing-level, codec-neutral)
+# ----------------------------------------------------------------------
+def is_batch(body: bytes) -> bool:
+    """Is this body a batch container of sub-bodies?"""
+    return bool(body) and body[0] == MAGIC_BATCH
+
+
+def encode_batch(bodies: List[bytes]) -> bytes:
+    """Fold already-encoded frame bodies into one container *frame*
+    (length prefix included).  Pure concatenation — the whole point:
+    the sub-bodies were encoded exactly once, upstream, and a multicast
+    shares one encoding across every destination queue."""
+    parts = [b"", bytes((MAGIC_BATCH,))]
+    total = 1
+    for body in bodies:
+        parts.append(_LEN.pack(len(body)))
+        parts.append(body)
+        total += 4 + len(body)
+    if total > MAX_FRAME:
+        raise ValueError(f"batch frame too large: {total} bytes")
+    parts[0] = _LEN.pack(total)
+    return b"".join(parts)
+
+
+def split_batch(body: bytes) -> List[bytes]:
+    """Sub-bodies of a batch container body, in fold order."""
+    out: List[bytes] = []
+    pos = 1
+    end = len(body)
+    while pos < end:
+        (length,) = _LEN.unpack_from(body, pos)
+        pos += 4
+        if pos + length > end:
+            raise ValueError("batch container: truncated sub-body")
+        out.append(body[pos : pos + length])
+        pos += length
+    return out
+
+
+def decode_frames(body: bytes) -> List[Any]:
+    """Decode a body into its logical frames: one for a plain body, all
+    sub-bodies for a batch container (order preserved)."""
+    if is_batch(body):
+        return [decode(sub) for sub in split_batch(body)]
+    return [decode(body)]
+
+
 def decode(body: bytes) -> Any:
-    """Deserialize a frame body (length prefix already stripped)."""
+    """Deserialize a frame body (length prefix already stripped).
+
+    Dispatches on the body's first byte, so JSON and binary frames can
+    interleave on one connection and no negotiation state is needed to
+    read — senders choose, receivers just decode.
+    """
+    if body and body[0] == MAGIC_BINARY:
+        return _decode_binary(body)
     return _untag(json.loads(body.decode("utf-8")))
 
 
-async def read_frame(reader: asyncio.StreamReader) -> Any:
-    """Read one frame; raises ``asyncio.IncompleteReadError`` on EOF."""
+async def read_body(reader: asyncio.StreamReader) -> bytes:
+    """Read one frame's body (length prefix stripped, not decoded);
+    raises ``asyncio.IncompleteReadError`` on EOF."""
     prefix = await reader.readexactly(_LEN.size)
     (length,) = _LEN.unpack(prefix)
     if length > MAX_FRAME:
         raise ValueError(f"frame too large: {length} bytes")
-    return decode(await reader.readexactly(length))
+    return await reader.readexactly(length)
 
 
-def write_frame(writer: asyncio.StreamWriter, obj: Any) -> None:
-    """Queue one frame on ``writer`` (caller drains when it cares)."""
-    writer.write(encode(obj))
+async def read_frame(reader: asyncio.StreamReader) -> Any:
+    """Read one frame; raises ``asyncio.IncompleteReadError`` on EOF.
+    Batch containers are not unfolded here — callers that can receive
+    them read bodies and use :func:`decode_frames` instead."""
+    return decode(await read_body(reader))
+
+
+async def read_frame_ex(
+    reader: asyncio.StreamReader,
+) -> Tuple[Any, str]:
+    """Read one frame and report which codec it arrived in — the client
+    protocol answers each request in the codec it was asked in."""
+    body = await read_body(reader)
+    return decode(body), body_codec(body)
+
+
+def write_frame(
+    writer: asyncio.StreamWriter, obj: Any, codec: str = CODEC_JSON
+) -> None:
+    """Queue one frame on ``writer``.
+
+    The caller **must** bound the transport buffer: either ``await
+    writer.drain()`` on the same code path (every request/reply and
+    proxy-forwarding path does), or cap the buffer with
+    ``transport.set_write_buffer_limits`` and drain when exceeded — an
+    un-drained writer facing a slow reader grows without bound (the
+    regression test in ``tests/test_service_perf.py`` pins this).
+    """
+    writer.write(encode(obj, codec))
 
 
 async def read_raw_frame(reader: asyncio.StreamReader) -> bytes:
     """Read one frame *without* decoding, returning the full wire bytes
-    (prefix included) — the fault proxy forwards frames opaquely and only
-    decodes the ones it must inspect."""
+    (prefix included) — the fault proxy forwards frames opaquely (either
+    codec, batch containers included) and only decodes the ones it must
+    inspect."""
     prefix = await reader.readexactly(_LEN.size)
     (length,) = _LEN.unpack(prefix)
     if length > MAX_FRAME:

@@ -2,10 +2,12 @@
 
 The broadcast stack is written against :class:`repro.runtime.transport.
 Transport`; this module runs the same behavioural assertions against
-both implementations — the simulated :class:`SimTransport` (= the
+every implementation — the simulated :class:`SimTransport` (= the
 ``Network``/``Simulator`` pair) and the live :class:`AsyncioTransport`
-on loopback TCP — so a contract drift between the planes fails a test
-here before it corrupts a live classification run.
+on loopback TCP under both wire codecs (JSON compat and binary, with
+frame coalescing on) — so a contract drift between the planes, or
+between the codecs, fails a test here before it corrupts a live
+classification run.
 
 Covered: point-to-point and multicast delivery with source fidelity,
 per-link FIFO order, timer scheduling (ordering, cancellation,
@@ -22,6 +24,7 @@ import pytest
 from repro.runtime.network import DelayModel, Network
 from repro.runtime.simulator import Simulator
 from repro.runtime.transport import Transport
+from repro.service import wire
 from repro.service.cluster import port_layout
 from repro.service.proxy import FaultProxy
 from repro.service.transport import AsyncioTransport
@@ -67,13 +70,23 @@ class SimWorld:
 
 
 class LiveWorld:
-    """n AsyncioTransports on loopback, optionally behind fault proxies."""
+    """n AsyncioTransports on loopback, optionally behind fault proxies.
+
+    ``codec`` picks the wire encoding (the contract must hold over both
+    the JSON compat codec and the binary codec — same raw stream above).
+    """
 
     plane = "live"
 
-    def __init__(self, n: int, duplicate_rate: float = 0.0) -> None:
+    def __init__(
+        self,
+        n: int,
+        duplicate_rate: float = 0.0,
+        codec: str = wire.CODEC_BINARY,
+    ) -> None:
         self.n = n
         self.duplicate_rate = duplicate_rate
+        self.codec = codec
         proxied = duplicate_rate > 0
         self.layout = port_layout(n, BASE_PORT, proxied=proxied)
         self.proxies = []
@@ -93,6 +106,7 @@ class LiveWorld:
                 addrs=self.layout["dial"],
                 my_addr=self.layout["peer"][pid],
                 seed=1,
+                codec=codec,
             )
             for pid in range(n)
         ]
@@ -132,7 +146,8 @@ class LiveWorld:
 async def make_world(plane: str, n: int, duplicate_rate: float = 0.0):
     if plane == "sim":
         return SimWorld(n, duplicate_rate=duplicate_rate)
-    world = LiveWorld(n, duplicate_rate=duplicate_rate)
+    codec = wire.CODEC_JSON if plane == "live-json" else wire.CODEC_BINARY
+    world = LiveWorld(n, duplicate_rate=duplicate_rate, codec=codec)
     await world.start()
     return world
 
@@ -156,7 +171,7 @@ def run(coro):
     return asyncio.run(coro)
 
 
-PLANES = ("sim", "live")
+PLANES = ("sim", "live-json", "live-binary")
 
 
 # ----------------------------------------------------------------------

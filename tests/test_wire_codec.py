@@ -1,0 +1,281 @@
+"""Codec equivalence: both wire codecs must round-trip every payload
+the runtime actually ships, and agree with each other.
+
+The live plane negotiates ``json`` (PR 9 compat) or ``binary`` (PR 10
+hot path) per connection, and a mixed cluster carries both on the same
+sockets via per-frame self-description.  These tests pin the contract
+that makes that safe:
+
+* every runtime payload shape round-trips identically through either
+  codec (tuple-keyed dicts, vector stamps, LWW nested tuples, the
+  ``__t``/``__d`` tag-collision shapes the JSON codec must escape);
+* a seeded structural fuzz over the value grammar agrees across codecs;
+* the framing-level batch container is codec-neutral (sub-bodies of
+  different codecs coexist in one container);
+* a live cluster with one JSON node among binary peers converges with
+  clean monitors (the compat-fallback smoke).
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.scenarios.spec import WorkloadSpec
+from repro.service import wire
+from repro.service.cluster import LiveCluster, client_call
+from repro.service.load import converged_windows, run_load
+
+BASE_PORT = 7680
+
+
+def roundtrip(value, codec):
+    body = wire.encode_body(value, codec)
+    assert wire.body_codec(body) == codec
+    return wire.decode(body)
+
+
+def both(value):
+    """Round-trip through both codecs; assert agreement; return it."""
+    via_json = roundtrip(value, wire.CODEC_JSON)
+    via_bin = roundtrip(value, wire.CODEC_BINARY)
+    assert via_json == via_bin
+    return via_bin
+
+
+# ----------------------------------------------------------------------
+# Runtime payload shapes
+# ----------------------------------------------------------------------
+class TestRuntimeShapes:
+    def test_vector_stamp(self):
+        stamp = (0, 17, 3, 2**40)
+        assert both(stamp) == stamp
+
+    def test_tuple_keyed_dict(self):
+        # dedup frontiers key rows by (origin, local_id) message ids
+        delivered = {(0, 1): True, (2, 40): False, (1, 0): True}
+        assert both(delivered) == delivered
+
+    def test_lww_entries_nest_tuples_in_tuples(self):
+        rows = [
+            ((3, 0), ("w", "x", 1)),
+            ((3, 1), ("r", "x", None)),
+            ((4, 0), ("w", "y", (1, 2))),
+        ]
+        assert both(rows) == rows
+
+    def test_causal_broadcast_frame(self):
+        frame = {
+            "t": "msg",
+            "src": 2,
+            "body": {
+                "kind": "bcast",
+                "id": (2, 5),
+                "origin": 2,
+                "stamp": (1, 0, 6),
+                "payload": {"op": ("w", "x", 3), "seq": 6},
+            },
+        }
+        assert both(frame) == frame
+
+    def test_resync_digest_with_frontier_rows(self):
+        frame = {
+            "t": "ctl",
+            "src": 0,
+            "body": {
+                "kind": "digest",
+                "frontier": [[3, 1, 0], [2, 2, 2]],
+                "ids": [(0, i) for i in range(4)],
+                "spill": {("a", 1): [1, (2, 3)], ("b", 2): []},
+            },
+        }
+        assert both(frame) == frame
+
+    def test_keys_outside_the_intern_table(self):
+        # the binary key table is an optimisation, not a requirement
+        frame = {"definitely-not-interned-key": 1, "another one": (2,)}
+        assert both(frame) == frame
+
+
+# ----------------------------------------------------------------------
+# Tag-collision shapes (the JSON codec's escape hatch)
+# ----------------------------------------------------------------------
+class TestTagCollisions:
+    def test_dict_with_literal_tag_keys(self):
+        for value in (
+            {"__t": "not a tuple"},
+            {"__d": [1, 2, 3]},
+            {"__t": {"__d": {"__t": 0}}},
+            {"__t": [1, 2], "other": 3},
+        ):
+            assert both(value) == value
+
+    def test_tag_strings_as_plain_values(self):
+        value = ["__t", "__d", ("__t",), {"k": "__d"}]
+        assert both(value) == value
+
+    def test_tag_keys_inside_tuple_keyed_dict(self):
+        value = {("__t", 0): {"__d": "x"}}
+        assert both(value) == value
+
+
+# ----------------------------------------------------------------------
+# Scalar edges
+# ----------------------------------------------------------------------
+class TestScalarEdges:
+    def test_int_width_boundaries(self):
+        edges = []
+        for bound in (2**7, 2**31, 2**63, 2**200):
+            edges += [bound - 1, bound, -bound, -bound - 1]
+        edges += [0, 1, -1]
+        assert both(edges) == edges
+
+    def test_bool_is_not_int(self):
+        value = [True, False, 1, 0]
+        decoded = both(value)
+        assert [type(v) for v in decoded] == [bool, bool, int, int]
+
+    def test_floats_bit_for_bit(self):
+        import math
+
+        values = [0.0, -0.0, 1.5, 1e300, 5e-324, math.pi]
+        decoded = both(values)
+        assert [v.hex() for v in decoded] == [v.hex() for v in values]
+
+    def test_unicode_and_long_strings(self):
+        values = ["", "héllo ≤≥", "x" * 300, "\x00\n\"\\", "🦀" * 70]
+        assert both(values) == values
+
+    def test_none_and_empty_containers(self):
+        value = [None, [], (), {}, {"x": ()}]
+        assert both(value) == value
+
+    def test_bytes_binary_only(self):
+        for blob in (b"", b"\x00\xb1\xb2", bytes(range(256)) * 2):
+            assert roundtrip(blob, wire.CODEC_BINARY) == blob
+
+
+# ----------------------------------------------------------------------
+# Structural fuzz: seeded grammar, both codecs must agree
+# ----------------------------------------------------------------------
+def random_value(rng, depth=0):
+    kinds = ["int", "str", "bool", "none", "float"]
+    if depth < 4:
+        kinds += ["list", "tuple", "dict", "tupledict"] * 2
+    kind = rng.choice(kinds)
+    if kind == "int":
+        return rng.choice(
+            [rng.randint(-128, 127), rng.randint(-(2**40), 2**40)]
+        )
+    if kind == "str":
+        return rng.choice(["", "__t", "stamp", "αβγ", "k" * rng.randint(1, 40)])
+    if kind == "bool":
+        return rng.random() < 0.5
+    if kind == "none":
+        return None
+    if kind == "float":
+        return rng.choice([0.0, -2.5, 1e9, rng.random()])
+    size = rng.randint(0, 4)
+    if kind == "list":
+        return [random_value(rng, depth + 1) for _ in range(size)]
+    if kind == "tuple":
+        return tuple(random_value(rng, depth + 1) for _ in range(size))
+    if kind == "dict":
+        return {
+            rng.choice(["a", "b", "__t", "__d", "stamp", "payload"]):
+                random_value(rng, depth + 1)
+            for _ in range(size)
+        }
+    # tuple-keyed dict — the message-id map shape
+    return {
+        (rng.randint(0, 4), rng.randint(0, 99)): random_value(rng, depth + 1)
+        for _ in range(size)
+    }
+
+
+class TestFuzz:
+    def test_codecs_agree_on_seeded_grammar(self):
+        rng = random.Random(1234)
+        for _ in range(300):
+            value = random_value(rng)
+            assert both(value) == value
+
+    def test_binary_rejects_trailing_garbage(self):
+        body = wire.encode_body({"x": 1}, wire.CODEC_BINARY)
+        with pytest.raises(ValueError):
+            wire.decode(body + b"\x00")
+
+
+# ----------------------------------------------------------------------
+# Batch container is codec-neutral
+# ----------------------------------------------------------------------
+class TestBatchContainer:
+    def test_mixed_codec_sub_bodies(self):
+        frames = [{"rid": i, "v": (i, i + 1)} for i in range(5)]
+        bodies = [
+            wire.encode_body(f, wire.CODEC_JSON if i % 2 else wire.CODEC_BINARY)
+            for i, f in enumerate(frames)
+        ]
+        batch = wire.encode_batch(bodies)
+        body = batch[4:]  # strip the outer length prefix
+        assert wire.is_batch(body)
+        assert [wire.decode(sub) for sub in wire.split_batch(body)] == frames
+        assert wire.decode_frames(body) == frames
+
+    def test_single_body_is_not_a_batch(self):
+        body = wire.encode_body({"x": 1}, wire.CODEC_BINARY)
+        assert not wire.is_batch(body)
+        assert wire.decode_frames(body) == [{"x": 1}]
+
+    def test_truncated_sub_body_raises(self):
+        bodies = [wire.encode_body({"x": 1}, wire.CODEC_BINARY)]
+        batch = wire.encode_batch(bodies)[4:]
+        with pytest.raises(ValueError):
+            wire.split_batch(batch[:-1])
+
+
+# ----------------------------------------------------------------------
+# Mixed-codec cluster smoke: one JSON node among binary peers
+# ----------------------------------------------------------------------
+class TestMixedCluster:
+    def test_json_node_among_binary_peers_converges(self):
+        async def body():
+            cluster = LiveCluster(
+                3,
+                base_port=BASE_PORT,
+                seed=7,
+                streams=2,
+                k=2,
+                proxied=False,
+                codec={0: wire.CODEC_JSON},  # pids 1, 2 default to binary
+            )
+            await cluster.start()
+            try:
+                await asyncio.sleep(0.3)
+                addrs = {pid: cluster.client_addr(pid) for pid in range(3)}
+                spec = WorkloadSpec(
+                    kind="open", rate=25.0, write_ratio=0.6, hot_key_weight=0.3
+                )
+                report = await run_load(
+                    addrs, spec, streams=2, duration=1.2, seed=7
+                )
+                assert report.completed > 30, report
+                assert report.errors == 0, report
+                converged = False
+                for _ in range(20):
+                    await asyncio.sleep(0.25)
+                    if await converged_windows(addrs, 2):
+                        converged = True
+                        break
+                assert converged, "mixed-codec cluster did not converge"
+                for pid in range(3):
+                    reply = await client_call(addrs[pid], {"cmd": "status"})
+                    status = reply["status"]
+                    assert status["monitor"]["ok"], status["monitor"]
+                    # sender codec actually differs across the cluster
+                    expect = wire.CODEC_JSON if pid == 0 else wire.CODEC_BINARY
+                    assert status["wire"]["codec"] == expect
+            finally:
+                await cluster.close()
+
+        asyncio.run(body())
